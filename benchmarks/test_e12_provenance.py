@@ -1,0 +1,70 @@
+"""E12: provenance query latency vs history size (§2.1, §3.1).
+
+"Provenance information of all the processes managed at any time even
+(years) after the execution." The store accumulates histories of 1k → 100k
+records (years of virtual operations); we measure the per-subject audit
+query (indexed) against a full filtered scan. Shape: the indexed audit
+stays effectively flat while the scan grows linearly — audits stay cheap
+no matter how old the grid gets.
+"""
+
+import time
+
+from _helpers import BenchGrid  # noqa: F401  (sys.path side effect only)
+from repro.provenance import ProvenanceRecord, ProvenanceStore
+
+HISTORY_SIZES = (1_000, 10_000, 100_000)
+N_SUBJECTS = 500
+QUERIES = 200
+
+
+def build_store(n_records: int) -> ProvenanceStore:
+    store = ProvenanceStore()
+    operations = ("put", "replicate", "migrate", "checksum", "delete")
+    for index in range(n_records):
+        store.append(ProvenanceRecord(
+            category="dgms",
+            operation=operations[index % len(operations)],
+            subject=f"/archive/obj-{index % N_SUBJECTS:05d}.dat",
+            time=float(index * 3600),     # one op per virtual hour
+            actor="archivist@ral"))
+    return store
+
+
+def time_audit(store: ProvenanceStore) -> float:
+    started = time.perf_counter()
+    for index in range(QUERIES):
+        trail = store.for_subject(f"/archive/obj-{index % N_SUBJECTS:05d}.dat")
+        assert trail
+    return (time.perf_counter() - started) / QUERIES * 1e6
+
+
+def time_scan(store: ProvenanceStore) -> float:
+    started = time.perf_counter()
+    results = store.query(operation="migrate")
+    assert results
+    return (time.perf_counter() - started) * 1e6
+
+
+def test_e12_provenance(benchmark, experiment):
+    report = experiment(
+        "E12", "Provenance query latency vs history size",
+        header=["records", "virtual_years", "audit_us", "full_scan_us"],
+        expectation="indexed per-object audits stay flat; full scans "
+                    "grow linearly")
+    audits = {}
+    for size in HISTORY_SIZES:
+        store = build_store(size)
+        audits[size] = time_audit(store)
+        report.row(size, round(size * 3600 / (365 * 86400), 1),
+                   audits[size], time_scan(store))
+
+    # 100x more history must not make audits more than ~10x slower.
+    assert audits[HISTORY_SIZES[-1]] < audits[HISTORY_SIZES[0]] * 10 + 50
+    report.conclusion = ("audits are O(history-per-object): 'years later' "
+                         "queries stay interactive")
+
+    store = build_store(HISTORY_SIZES[1])
+    benchmark(time_audit, store)
+    benchmark.extra_info["audit_us"] = {
+        str(size): round(value, 1) for size, value in audits.items()}

@@ -1,0 +1,75 @@
+"""E13: synchronous vs asynchronous request handling (Appendix A).
+
+"Synchronous Data Grid Requests are replied after the execution of the
+flow … Asynchronous Data Grid Requests are replied with a Request
+Acknowledgement." The cost that matters is *client-blocked virtual time*:
+how long the submitting client waits before it can do anything else.
+Shape: sync blocking grows linearly with flow duration; async blocking is
+zero regardless, with status polls recovering the result later.
+"""
+
+import time
+
+from _helpers import BenchGrid
+from repro.dgl import DataGridRequest, FlowStatusQuery
+from repro.workloads import sleep_bag_flow
+
+FLOW_DURATIONS = (10.0, 100.0, 1000.0)
+
+
+def run_mode(mode: str, duration: float):
+    grid = BenchGrid(n_domains=1)
+    flow = sleep_bag_flow("job", 10, duration / 10)
+    if mode == "sync":
+        def client():
+            submit_at = grid.env.now
+            response = yield grid.env.process(
+                grid.server.submit_sync(grid.request(flow)))
+            blocked = grid.env.now - submit_at
+            return blocked, response
+
+        blocked, response = grid.run(client())
+        assert response.body.state.value == "completed"
+        return blocked
+    # Async: ack immediately; poll status until terminal.
+    def client():
+        submit_at = grid.env.now
+        ack = grid.server.submit(grid.request(flow, asynchronous=True))
+        blocked = grid.env.now - submit_at      # time until the client is free
+        polls = 0
+        while True:
+            status = grid.server.submit(DataGridRequest(
+                user=grid.admin.qualified_name,
+                virtual_organization="bench",
+                body=FlowStatusQuery(request_id=ack.request_id)))
+            polls += 1
+            if status.body.state.is_terminal:
+                break
+            yield grid.env.timeout(duration / 4)
+        return blocked, polls
+
+    blocked, polls = grid.run(client())
+    assert polls >= 2
+    return blocked
+
+
+def test_e13_sync_async(benchmark, experiment):
+    report = experiment(
+        "E13", "Client-blocked time: sync vs async submission",
+        header=["flow_virtual_s", "sync_blocked_s", "async_blocked_s"],
+        expectation="sync blocking grows with the flow; async blocking "
+                    "is zero at any scale")
+    sync_blocked = {}
+    for duration in FLOW_DURATIONS:
+        sync_blocked[duration] = run_mode("sync", duration)
+        async_blocked = run_mode("async", duration)
+        report.row(duration, sync_blocked[duration], async_blocked)
+        assert sync_blocked[duration] == duration
+        assert async_blocked == 0.0
+    report.conclusion = ("asynchronous requests decouple clients from "
+                         "long-run flow lifetimes entirely")
+
+    benchmark.pedantic(run_mode, args=("async", FLOW_DURATIONS[-1]),
+                       rounds=3, iterations=1)
+    benchmark.extra_info["sync_blocked"] = {
+        str(duration): value for duration, value in sync_blocked.items()}

@@ -1,0 +1,70 @@
+"""E14: DGL document processing throughput (§4, Appendix A).
+
+DGL is the interchange format for every system in the paper's ecosystem
+("a standard format could be used across all the related systems"), so
+parse/serialize cost matters at scale. The sweep measures XML round-trip
+throughput for request documents of 10 → 1000 steps, asserting perfect
+round-trip fidelity along the way. Shape: cost linear in document size.
+"""
+
+import time
+
+from _helpers import BenchGrid  # noqa: F401  (sys.path side effect only)
+from repro.dgl import (
+    DataGridRequest,
+    flow_builder,
+    request_from_xml,
+    request_to_xml,
+    validate_request,
+)
+
+SIZES = (10, 100, 1000)
+
+
+def make_request(n_steps: int) -> DataGridRequest:
+    builder = (flow_builder("big")
+               .variable("count", 0)
+               .variable("label", "bench"))
+    for index in range(n_steps):
+        builder.step(f"step-{index:05d}", "srb.replicate",
+                     path=f"/data/obj-{index:05d}.dat",
+                     resource="tape", replica_policy="nearest")
+    return DataGridRequest(user="admin@d0", virtual_organization="bench",
+                           body=builder.build())
+
+
+def round_trip(request: DataGridRequest) -> DataGridRequest:
+    text = request_to_xml(request)
+    parsed = request_from_xml(text)
+    validate_request(parsed)
+    return parsed
+
+
+def test_e14_dgl_throughput(benchmark, experiment):
+    report = experiment(
+        "E14", "DGL XML round-trip throughput",
+        header=["steps", "doc_KB", "round_trips_per_s", "us_per_step"],
+        expectation="round-trip cost linear in steps; fidelity exact")
+    rates = {}
+    for size in SIZES:
+        request = make_request(size)
+        doc_kb = len(request_to_xml(request)) / 1024
+        assert round_trip(request) == request    # fidelity
+        iterations = max(3, 300 // size)
+        started = time.perf_counter()
+        for _ in range(iterations):
+            round_trip(request)
+        elapsed = time.perf_counter() - started
+        rates[size] = iterations / elapsed
+        report.row(size, round(doc_kb, 1), round(rates[size], 1),
+                   round(elapsed / iterations / size * 1e6, 1))
+
+    # Linear shape: per-step cost within 5x across two decades.
+    per_step = {size: 1 / (rates[size] * size) for size in SIZES}
+    assert max(per_step.values()) < min(per_step.values()) * 5
+    report.conclusion = "linear parsing cost; exact round-trip fidelity"
+
+    request = make_request(SIZES[1])
+    benchmark(round_trip, request)
+    benchmark.extra_info["round_trips_per_s"] = {
+        str(size): round(rate, 2) for size, rate in rates.items()}

@@ -1,0 +1,100 @@
+"""E15: peer-to-peer DfMS networks (§3.2, §5).
+
+"Multiple DfMS servers can form a peer-to-peer datagridflow network with
+one or more lookup servers." We compare a single server against a 4-peer
+network behind a lookup server on a burst of 32 concurrent flows:
+
+* **overhead** — referral + submission round trips cost a fixed few
+  hundred milliseconds of network latency per flow (tiny against any
+  long-run flow);
+* **benefit** — the least-loaded policy spreads the burst almost evenly
+  across peers, and status queries route straight to the owning peer via
+  the identifier's embedded peer name.
+"""
+
+from collections import Counter
+
+from _helpers import BenchGrid
+from repro.dfms import DfMSNetwork, DfMSServer, LookupServer
+from repro.dgl import DataGridRequest, FlowStatusQuery
+from repro.workloads import sleep_bag_flow
+
+N_FLOWS = 32
+N_PEERS = 4
+
+
+def run_single():
+    grid = BenchGrid(n_domains=N_PEERS)
+    for index in range(N_FLOWS):
+        grid.server.submit(grid.request(
+            sleep_bag_flow(f"wf-{index}", 4, 25.0), asynchronous=True))
+    grid.env.run()
+    return grid.env.now, 0.0, {grid.server.name: N_FLOWS}
+
+
+def run_p2p():
+    grid = BenchGrid(n_domains=N_PEERS)
+    peers = [grid.server]
+    for index in range(1, N_PEERS):
+        peers.append(DfMSServer(grid.env, grid.dgms,
+                                name=f"matrix-{index + 1}",
+                                infrastructure=grid.infrastructure))
+    lookup = LookupServer("lookup", "d0", policy="least_loaded")
+    for index, peer in enumerate(peers):
+        lookup.register(peer, f"d{index}")
+    network = DfMSNetwork(grid.env, grid.dgms.topology, lookup)
+
+    placement = Counter()
+    request_ids = []
+
+    def client():
+        for index in range(N_FLOWS):
+            response, served_by = yield from network.submit(
+                grid.request(sleep_bag_flow(f"wf-{index}", 4, 25.0),
+                             asynchronous=True), "d0")
+            assert response.body.valid
+            placement[served_by] += 1
+            request_ids.append(response.request_id)
+
+    grid.run(client())
+    grid.env.run()
+
+    # Status queries route directly to the owning peer by identifier.
+    def check_status():
+        for request_id in request_ids[:4]:
+            response, _ = yield from network.query_status(
+                DataGridRequest(user=grid.admin.qualified_name,
+                                virtual_organization="bench",
+                                body=FlowStatusQuery(request_id=request_id)),
+                "d0")
+            assert response.body.state.value == "completed"
+
+    grid.run(check_status())
+    return grid.env.now, network.network_seconds, dict(placement)
+
+
+def test_e15_p2p(benchmark, experiment):
+    report = experiment(
+        "E15", "P2P DfMS network vs single server",
+        header=["deployment", "virtual_completion_s", "network_s",
+                "peer_load_spread"],
+        expectation="fixed small referral overhead; near-even load "
+                    "spread; id-routed status queries work")
+    single_time, single_net, single_load = run_single()
+    p2p_time, p2p_net, p2p_load = run_p2p()
+    report.row("single", single_time, single_net,
+               "/".join(str(count) for count in single_load.values()))
+    report.row(f"p2p x{N_PEERS}", p2p_time, p2p_net,
+               "/".join(str(p2p_load[name])
+                        for name in sorted(p2p_load)))
+
+    # Overhead is bounded: a few RTTs per flow, tiny vs the flows.
+    assert p2p_net < 0.1 * p2p_time
+    # The load is spread: no peer took more than half the burst.
+    assert max(p2p_load.values()) <= N_FLOWS / 2
+    assert len(p2p_load) == N_PEERS
+    report.conclusion = (f"{p2p_net:.2f}s of referral latency buys an "
+                         "even spread across all peers")
+
+    benchmark.pedantic(run_p2p, rounds=3, iterations=1)
+    benchmark.extra_info["load"] = p2p_load

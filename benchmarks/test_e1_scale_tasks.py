@@ -1,0 +1,53 @@
+"""E1: engine scalability in tasks per workflow (§3.1 "Scalability").
+
+"DfMS must be scalable in terms of the number of tasks within a single
+workflow." The series sweeps step counts for sequential and parallel
+flows of zero-duration steps, so the measured wall time is pure engine
+overhead per step. The shape to check: overhead per step stays roughly
+flat as flows grow (linear scaling), for both patterns.
+"""
+
+import time
+
+from _helpers import BenchGrid
+from repro.workloads import sleep_bag_flow
+
+SIZES = (10, 100, 1000)
+
+
+def run_flow(n_steps: int, parallel: bool) -> float:
+    grid = BenchGrid(n_domains=1)
+    flow = sleep_bag_flow("bag", n_steps, duration=0.0, parallel=parallel)
+    started = time.perf_counter()
+    grid.submit_sync(flow)
+    return time.perf_counter() - started
+
+
+def test_e1_scale_tasks(benchmark, experiment):
+    report = experiment(
+        "E1", "Tasks per workflow: engine overhead",
+        header=["steps", "pattern", "wall_s", "us_per_step"],
+        expectation="per-step overhead roughly flat (linear scaling) "
+                    "for sequential and parallel flows")
+    per_step = {}
+    for parallel in (False, True):
+        pattern = "parallel" if parallel else "sequential"
+        for n_steps in SIZES:
+            wall = run_flow(n_steps, parallel)
+            per_step[(pattern, n_steps)] = wall / n_steps * 1e6
+            report.row(n_steps, pattern, wall,
+                       per_step[(pattern, n_steps)])
+
+    # Official timing: the largest sequential flow.
+    benchmark.pedantic(run_flow, args=(SIZES[-1], False),
+                       rounds=3, iterations=1)
+    benchmark.extra_info["series"] = {
+        f"{pattern}/{n}": round(value, 1)
+        for (pattern, n), value in per_step.items()}
+
+    # Shape: growing the flow 100x may not blow up per-step cost by > 5x.
+    for pattern in ("sequential", "parallel"):
+        small = per_step[(pattern, SIZES[0])]
+        large = per_step[(pattern, SIZES[-1])]
+        report.conclusion = "per-step overhead flat: linear scaling holds"
+        assert large < small * 5, (pattern, small, large)

@@ -1,0 +1,83 @@
+"""E6: virtual data — avoid re-deriving existing products (§2.3, §3.2).
+
+"If the required output data is already available (virtual data), it need
+not be derived again." Campaign A materializes N derivations; campaign B
+requests a mix of repeats and new derivations. With the Chimera-style
+catalog, every repeat is a catalog hit costing nothing; without it, every
+repeat pays staging + compute again. Shape: campaign-B time scales with
+(1 - overlap), and savings grow linearly with the overlap fraction.
+"""
+
+from _helpers import BenchGrid
+from repro.dgl import flow_builder
+from repro.storage import MB
+
+N_INPUTS = 12
+DERIVE_SECONDS = 120.0
+OVERLAPS = (0.0, 0.5, 1.0)
+
+
+def derivation_flow(tag: str, input_paths, use_catalog: bool):
+    builder = flow_builder(f"campaign-{tag}").sequential()
+    for index, path in enumerate(input_paths):
+        params = {
+            "duration": DERIVE_SECONDS,
+            "inputs": path,
+            "output_path": f"/data/derived/{tag}-{index:03d}.out",
+            "output_size": float(MB),
+            "output_resource": "d0-disk",
+        }
+        if use_catalog:
+            params["transformation"] = f"calibrate-{path}"
+        builder.step(f"derive-{index:03d}", "exec", **params)
+    return builder.build()
+
+
+def run_campaigns(overlap: float, use_catalog: bool):
+    grid = BenchGrid(n_domains=2, cores_per_domain=4)
+    inputs = grid.populate(N_INPUTS, size=50 * MB)
+    grid.dgms.create_collection(grid.admin, "/data/derived")
+    # Campaign A derives the first half of the inputs.
+    first_half = inputs[: N_INPUTS // 2]
+    grid.submit_sync(derivation_flow("a", first_half, use_catalog))
+    time_a_done = grid.env.now
+    # Campaign B: `overlap` of its derivations repeat campaign A's.
+    n_repeat = int(len(first_half) * overlap)
+    campaign_b = first_half[:n_repeat] + inputs[
+        N_INPUTS // 2: N_INPUTS // 2 + (len(first_half) - n_repeat)]
+    grid.submit_sync(derivation_flow("b", campaign_b, use_catalog))
+    time_b = grid.env.now - time_a_done
+    hits = grid.server.virtual_data.hits
+    return time_b, hits
+
+
+def test_e6_virtual_data(benchmark, experiment):
+    report = experiment(
+        "E6", "Virtual data: re-derivation avoided",
+        header=["overlap", "catalog", "campaignB_virtual_s", "vd_hits"],
+        expectation="with the catalog, campaign-B time falls linearly "
+                    "with the overlap fraction; without it, flat")
+    results = {}
+    for overlap in OVERLAPS:
+        for use_catalog in (False, True):
+            time_b, hits = run_campaigns(overlap, use_catalog)
+            results[(overlap, use_catalog)] = (time_b, hits)
+            report.row(overlap, "yes" if use_catalog else "no", time_b,
+                       hits)
+
+    # No overlap: catalog changes nothing (within noise).
+    no_overlap_with = results[(0.0, True)][0]
+    no_overlap_without = results[(0.0, False)][0]
+    assert abs(no_overlap_with - no_overlap_without) < 1.0
+    # Full overlap + catalog: campaign B is (nearly) free.
+    assert results[(1.0, True)][0] < results[(1.0, False)][0] * 0.05
+    assert results[(1.0, True)][1] == N_INPUTS // 2
+    # Half overlap: roughly half the cost.
+    ratio = results[(0.5, True)][0] / results[(0.5, False)][0]
+    assert 0.3 < ratio < 0.7
+    report.conclusion = ("savings proportional to derivation overlap; "
+                         "zero-overlap overhead is nil")
+
+    benchmark.pedantic(run_campaigns, args=(0.5, True), rounds=3,
+                       iterations=1)
+    benchmark.extra_info["half_overlap_ratio"] = round(ratio, 3)

@@ -1,0 +1,82 @@
+"""E9: the exploding star — staged vs naive tier replication (§2.1).
+
+CERN CMS "has many domains that require the data generated … to be
+replicated in stages at different tiers across the globe". The staged flow
+copies tier-by-tier (tier-2 pulls from its tier-1 parent over regional
+links); the naive baseline has every site pull straight from CERN at
+once, hammering the thin transatlantic uplinks. Shape: staged completes
+faster and keeps uplink traffic at one copy per tier-1 site per object.
+"""
+
+from _helpers import BenchGrid  # noqa: F401  (sys.path side effect only)
+from repro.dgl import DataGridRequest, flow_builder
+from repro.ilm import exploding_star_flow
+from repro.workloads import cms_scenario
+
+N_EVENTS = 6
+
+
+def submit(scenario, flow):
+    physicist = scenario.users["physicist"]
+
+    def go():
+        response = yield scenario.env.process(scenario.server.submit_sync(
+            DataGridRequest(user=physicist.qualified_name,
+                            virtual_organization="cms", body=flow)))
+        return response
+
+    response = scenario.run(go())
+    assert response.body.state.value == "completed", response.body.error
+    return scenario.env.now
+
+
+def uplink_bytes(scenario):
+    """Bytes that crossed any cern-tier1 uplink."""
+    return sum(stats.nbytes for stats in scenario.dgms.transfers.completed
+               if "cern" in (stats.src, stats.dst))
+
+
+def run_staged():
+    scenario = cms_scenario(n_tier1=2, n_tier2_per_t1=2, n_events=N_EVENTS)
+    flow = exploding_star_flow(
+        "stage-out", "/cms/run1",
+        tier_resources=[scenario.extras["tier1_resources"],
+                        scenario.extras["tier2_resources"]])
+    elapsed = submit(scenario, flow)
+    return elapsed, uplink_bytes(scenario)
+
+
+def run_naive():
+    scenario = cms_scenario(n_tier1=2, n_tier2_per_t1=2, n_events=N_EVENTS)
+    per_object = flow_builder("blast").parallel()
+    for resource in (scenario.extras["tier1_resources"]
+                     + scenario.extras["tier2_resources"]):
+        per_object.step(f"to-{resource}", "srb.replicate", path="${f}",
+                        resource=resource, replica_policy="fixed")
+    flow = (flow_builder("naive").for_each("f", collection="/cms/run1")
+            .subflow(per_object).build())
+    elapsed = submit(scenario, flow)
+    return elapsed, uplink_bytes(scenario)
+
+
+def test_e9_exploding_star(benchmark, experiment):
+    report = experiment(
+        "E9", "Exploding star: staged vs naive fan-out",
+        header=["strategy", "virtual_s", "uplink_GB"],
+        expectation="staged wins: tier-2 copies cross regional links, "
+                    "not CERN's thin uplinks")
+    staged_time, staged_uplink = run_staged()
+    naive_time, naive_uplink = run_naive()
+    report.row("staged", staged_time, staged_uplink / 1e9)
+    report.row("naive", naive_time, naive_uplink / 1e9)
+
+    assert staged_time < naive_time
+    # Naive pushes every tier-2 copy across an uplink too: 3x the traffic.
+    assert naive_uplink > staged_uplink * 2
+    report.conclusion = (f"staged is {naive_time / staged_time:.1f}x "
+                         f"faster with {naive_uplink / staged_uplink:.1f}x "
+                         "less uplink traffic")
+
+    benchmark.pedantic(run_staged, rounds=3, iterations=1)
+    benchmark.extra_info["staged_s"] = round(staged_time, 1)
+    benchmark.extra_info["naive_s"] = round(naive_time, 1)

@@ -1,0 +1,101 @@
+"""F1–F4: regenerate the paper's four schema figures.
+
+The paper's only figures are structural: the Flow (Fig. 1), the
+DataGridRequest (Fig. 2), the flowLogic schema (Fig. 3), and the
+DataGridResponse (Fig. 4). We regenerate each as a text tree introspected
+from the implementation's dataclasses (``repro.dgl.schema.structure_of``)
+and check that every element the paper's figures show is present with the
+right multiplicity/alternation.
+"""
+
+from repro.dgl import (
+    DataGridRequest,
+    DataGridResponse,
+    Flow,
+    FlowLogic,
+    structure_of,
+)
+
+
+def test_f1_flow_structure(benchmark, experiment):
+    text = benchmark(structure_of, Flow)
+    report = experiment(
+        "F1", "Structure of a Flow (paper Fig. 1)",
+        header=["element", "present"],
+        expectation="Flow = variables* + flowLogic + children (sub-flows "
+                    "or steps)")
+    checks = {
+        "variables section": "variables: Variable*" in text,
+        "flowLogic section": "logic: FlowLogic" in text,
+        "children (Flow | Step)*": "children: Flow | Step*" in text,
+        "recursion (Flow in Flow)": "…recursive" in structure_of(Flow, 5),
+    }
+    for element, present in checks.items():
+        report.row(element, "yes" if present else "MISSING")
+    report.conclusion = ("matches Fig. 1" if all(checks.values())
+                         else "STRUCTURE DRIFT")
+    assert all(checks.values()), text
+
+
+def test_f2_request_structure(benchmark, experiment):
+    text = benchmark(structure_of, DataGridRequest)
+    report = experiment(
+        "F2", "Structure of a DataGridRequest (paper Fig. 2)",
+        header=["element", "present"],
+        expectation="request = document metadata + grid user + virtual "
+                    "organization + (Flow | FlowStatusQuery)")
+    checks = {
+        "grid user": "user: str" in text,
+        "virtual organization": "virtual_organization: str" in text,
+        "body choice Flow | FlowStatusQuery":
+            "body: Flow | FlowStatusQuery" in text,
+        "document metadata": "metadata: DocumentMetadata" in text,
+    }
+    for element, present in checks.items():
+        report.row(element, "yes" if present else "MISSING")
+    report.conclusion = ("matches Fig. 2" if all(checks.values())
+                         else "STRUCTURE DRIFT")
+    assert all(checks.values()), text
+
+
+def test_f3_flowlogic_structure(benchmark, experiment):
+    text = benchmark(structure_of, FlowLogic)
+    report = experiment(
+        "F3", "flowLogic schema (paper Fig. 3)",
+        header=["element", "present"],
+        expectation="flowLogic = one control-structure choice + "
+                    "userDefined rules")
+    checks = {
+        "control-pattern choice":
+            ("pattern: Sequential | Parallel | WhileLoop | Repeat | "
+             "ForEach | SwitchCase") in text,
+        "user-defined rules": "rules: UserDefinedRule*" in text,
+        "rule = condition + actions":
+            "condition: str" in text and "actions: Action*" in text,
+    }
+    for element, present in checks.items():
+        report.row(element, "yes" if present else "MISSING")
+    report.conclusion = ("matches Fig. 3" if all(checks.values())
+                         else "STRUCTURE DRIFT")
+    assert all(checks.values()), text
+
+
+def test_f4_response_structure(benchmark, experiment):
+    text = benchmark(structure_of, DataGridResponse)
+    report = experiment(
+        "F4", "Structure of a DataGridResponse (paper Fig. 4)",
+        header=["element", "present"],
+        expectation="response = (FlowStatus | RequestAcknowledgement); "
+                    "acks carry id + initial status + validity")
+    checks = {
+        "body choice FlowStatus | RequestAcknowledgement":
+            "body: FlowStatus | RequestAcknowledgement" in text,
+        "ack request id": "request_id: str" in text,
+        "ack validity": "valid: bool" in text,
+        "recursive status tree": "children: FlowStatus*" in text,
+    }
+    for element, present in checks.items():
+        report.row(element, "yes" if present else "MISSING")
+    report.conclusion = ("matches Fig. 4" if all(checks.values())
+                         else "STRUCTURE DRIFT")
+    assert all(checks.values()), text

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Quickstart: a two-domain datagrid, one datagridflow, one status query.
+
+Builds the smallest interesting deployment — two administrative domains
+(SDSC with disk + tape, UCSD with disk) joined by a WAN link — then:
+
+1. ingests a file through a DGL flow,
+2. checksums and archives it,
+3. queries the flow's status at step granularity, and
+4. prints the audit trail from provenance.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dfms import DfMSServer
+from repro.dgl import (
+    DataGridRequest,
+    FlowStatusQuery,
+    flow_builder,
+    request_to_xml,
+)
+from repro.grid import DataGridManagementSystem, DomainRole
+from repro.network import Topology
+from repro.provenance import ProvenanceStore, attach_to_dgms, attach_to_server
+from repro.sim import Environment
+from repro.storage import GB, MB, PhysicalStorageResource, StorageClass
+
+
+def build_grid():
+    """Two domains, three storage systems, one DfMS server."""
+    env = Environment()
+    topology = Topology()
+    topology.connect("sdsc", "ucsd", latency_s=0.01, bandwidth_bps=100 * MB)
+
+    dgms = DataGridManagementSystem(env, topology)
+    dgms.register_domain("sdsc", DomainRole.CURATOR)
+    dgms.register_domain("ucsd")
+    dgms.register_resource("sdsc-disk", "sdsc", PhysicalStorageResource(
+        "sdsc-disk-1", StorageClass.DISK, 100 * GB))
+    dgms.register_resource("sdsc-tape", "sdsc", PhysicalStorageResource(
+        "sdsc-tape-1", StorageClass.ARCHIVE, 10_000 * GB))
+    dgms.register_resource("ucsd-disk", "ucsd", PhysicalStorageResource(
+        "ucsd-disk-1", StorageClass.DISK, 100 * GB))
+
+    alice = dgms.register_user("alice", "sdsc")
+    dgms.create_collection(alice, "/home/alice", parents=True)
+
+    server = DfMSServer(env, dgms)
+    provenance = ProvenanceStore()
+    attach_to_dgms(provenance, dgms)
+    attach_to_server(provenance, server)
+    return env, dgms, server, alice, provenance
+
+
+def main():
+    env, dgms, server, alice, provenance = build_grid()
+
+    # A datagridflow: ingest, checksum, tag, archive — expressed in DGL.
+    flow = (
+        flow_builder("ingest-and-archive")
+        .variable("digest", "")
+        .step("ingest", "srb.put", assign_to="path",
+              path="/home/alice/survey.dat", size=float(50 * MB),
+              resource="sdsc-disk")
+        .step("checksum", "srb.checksum", assign_to="digest", path="${path}")
+        .step("tag", "srb.set_metadata", path="${path}",
+              attribute="md5", value="${digest}")
+        .step("archive", "srb.replicate", path="${path}",
+              resource="sdsc-tape")
+        .build()
+    )
+    request = DataGridRequest(user=alice.qualified_name,
+                              virtual_organization="demo", body=flow,
+                              asynchronous=True)
+
+    print("=== The DGL request document (what goes over the wire) ===")
+    print(request_to_xml(request))
+
+    # Submit asynchronously: the acknowledgement returns immediately.
+    ack = server.submit(request)
+    print(f"\nAccepted: request_id={ack.request_id} "
+          f"state={ack.body.state.value}")
+
+    # Drive the simulation until the flow completes.
+    def wait():
+        yield server.wait(ack.request_id)
+
+    env.run_process(wait())
+
+    # Status query at step granularity (Appendix A).
+    response = server.submit(DataGridRequest(
+        user=alice.qualified_name, virtual_organization="demo",
+        body=FlowStatusQuery(request_id=ack.request_id)))
+    print(f"\n=== Final status (virtual time now {env.now:.2f} s) ===")
+    for child in response.body.children:
+        print(f"  {child.name:10s} {child.state.value:10s} "
+              f"[{child.started_at:.2f} .. {child.finished_at:.2f}]")
+
+    obj = dgms.namespace.resolve_object("/home/alice/survey.dat")
+    print(f"\nObject: {obj.path}")
+    print(f"  md5 metadata : {obj.metadata.get('md5')}")
+    print(f"  replicas     : "
+          f"{[replica.physical_name for replica in obj.good_replicas()]}")
+
+    print("\n=== Provenance audit trail for the object ===")
+    for record in provenance.for_subject("/home/alice/survey.dat"):
+        print(f"  t={record.time:8.2f}  {record.category:6s} "
+              f"{record.operation:12s} by {record.actor}")
+
+
+if __name__ == "__main__":
+    main()

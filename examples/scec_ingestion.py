@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The two DGL prototype runs reported in the paper (§4).
+
+1. **SCEC ingestion** — "SCEC workflow for ingesting files into the SRB
+   datagrid was also performed using DGL": earthquake-simulation outputs
+   move from the SCEC site into SDSC's parallel filesystem, get tagged,
+   and land on tape.
+2. **UCSD Libraries data integrity** — "Datagridflow for data-integrity
+   and MD5 calculation was described in DGL and executed by SRB Matrix
+   servers for the UCSD Library data": every ingested scan is checksummed,
+   tagged, and archived.
+
+Both run end-to-end through DGL documents on the DfMS, with provenance.
+
+Run:  python examples/scec_ingestion.py
+"""
+
+from repro.baselines import dgl_integrity_flow
+from repro.dgl import DataGridRequest, flow_builder
+from repro.workloads import scec_scenario, ucsd_library_scenario
+
+
+def submit_and_wait(scenario, user, flow, vo):
+    def go():
+        response = yield scenario.env.process(scenario.server.submit_sync(
+            DataGridRequest(user=user.qualified_name,
+                            virtual_organization=vo, body=flow)))
+        return response
+
+    response = scenario.run(go())
+    assert response.body.state.value == "completed", response.body.error
+    return response
+
+
+def scec_ingestion_flow(manifest):
+    """Ingest every manifest entry, then tag and archive it.
+
+    The flow iterates over the manifest indices; each iteration ingests
+    from the SCEC site (network transfer to SDSC), tags the run metadata,
+    and replicates to tape — the full §4 ingestion pipeline.
+    """
+    indices = "[" + ", ".join(str(i) for i in range(len(manifest))) + "]"
+    # The manifest is embedded as DGL list literals, indexed per iteration.
+    sizes = "[" + ", ".join(f"{entry['size']:.0f}" for entry in manifest) + "]"
+    names = "[" + ", ".join(f"'{entry['name']}'" for entry in manifest) + "]"
+    return (flow_builder("scec-ingestion")
+            .for_each("i", items=indices)
+            .step("ingest", "srb.put", assign_to="path",
+                  path="/scec/runs/${" + f"{names}[i]" + "}",
+                  size="${" + f"{sizes}[i]" + "}",
+                  resource="sdsc-gpfs", source_domain="scec")
+            .step("tag", "srb.set_metadata", path="${path}",
+                  attribute="project", value="scec-term")
+            .step("archive", "srb.replicate", path="${path}",
+                  resource="sdsc-tape")
+            .build())
+
+
+def run_scec():
+    scenario = scec_scenario(n_files=8)
+    manifest = scenario.extras["manifest"]
+    scientist = scenario.users["scientist"]
+    total_bytes = sum(entry["size"] for entry in manifest)
+    print(f"SCEC ingestion: {len(manifest)} files, "
+          f"{total_bytes / 1e9:.2f} GB from the SCEC site")
+
+    flow = scec_ingestion_flow(manifest)
+    response = submit_and_wait(scenario, scientist, flow, vo="scec")
+    print(f"  completed in {scenario.env.now:.1f} virtual s "
+          f"({response.body.iterations} files ingested)")
+
+    ingested = list(scenario.dgms.namespace.iter_objects("/scec/runs"))
+    archived = sum(1 for obj in ingested
+                   if any(r.physical_name == "sdsc-tape-1"
+                          for r in obj.good_replicas()))
+    print(f"  {len(ingested)} objects in /scec/runs, {archived} on tape")
+    puts = scenario.provenance.query(category="dgms", operation="put")
+    print(f"  provenance: {len(puts)} ingest operations recorded\n")
+
+
+def run_ucsd_library():
+    scenario = ucsd_library_scenario(n_files=6)
+    librarian = scenario.users["librarian"]
+    print("UCSD Libraries data integrity: 6 scans in /library/ingest")
+
+    flow = dgl_integrity_flow("/library/ingest", "library-tape")
+    submit_and_wait(scenario, librarian, flow, vo="ucsd-libraries")
+
+    verified = 0
+    for obj in scenario.dgms.namespace.iter_objects("/library/ingest"):
+        if obj.metadata.get("md5") == obj.checksum and obj.checksum:
+            verified += 1
+    print(f"  completed in {scenario.env.now:.1f} virtual s; "
+          f"{verified}/6 objects have verified MD5 metadata")
+    checksums = scenario.provenance.query(operation="checksum")
+    print(f"  provenance: {len(checksums)} checksum operations recorded")
+
+
+def main():
+    run_scec()
+    run_ucsd_library()
+
+
+if __name__ == "__main__":
+    main()

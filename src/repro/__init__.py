@@ -1,0 +1,29 @@
+"""Datagridflows: managing long-run processes on datagrids.
+
+A from-scratch reproduction of Jagatheesan et al. (VLDB DMG 2005):
+
+* :mod:`repro.sim` — deterministic virtual-time kernel;
+* :mod:`repro.storage` / :mod:`repro.network` — simulated physical
+  substrates;
+* :mod:`repro.grid` — the datagrid management system (SRB-like);
+* :mod:`repro.dgl` — the Data Grid Language;
+* :mod:`repro.dfms` — the datagridflow management system (engine, server,
+  scheduling, virtual data, P2P);
+* :mod:`repro.ilm` / :mod:`repro.triggers` / :mod:`repro.provenance` —
+  the long-run process classes the paper motivates;
+* :mod:`repro.baselines` / :mod:`repro.workloads` — comparison points and
+  scenario generators for the experiments in EXPERIMENTS.md.
+
+Quick start::
+
+    from repro.sim import Environment
+    from repro.grid import DataGridManagementSystem
+    from repro.dfms import DfMSServer
+    from repro.dgl import DataGridRequest, flow_builder
+
+See ``examples/quickstart.py`` for a complete end-to-end run.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

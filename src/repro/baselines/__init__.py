@@ -1,0 +1,20 @@
+"""Baseline comparators drawn from the paper's own alternatives:
+cron + scripts (§2.1), client-side engines (§5, GridAnt), and hard-wired
+workflows (§3)."""
+
+from repro.baselines.clientside import (
+    ClientDisconnected,
+    ClientSideEngine,
+    ClientStats,
+)
+from repro.baselines.cron_scripts import CronScriptArchiver, CronStats
+from repro.baselines.hardwired import (
+    HardwiredIntegrityPipeline,
+    dgl_integrity_flow,
+)
+
+__all__ = [
+    "CronScriptArchiver", "CronStats",
+    "ClientSideEngine", "ClientStats", "ClientDisconnected",
+    "HardwiredIntegrityPipeline", "dgl_integrity_flow",
+]

@@ -1,0 +1,97 @@
+"""The client-side workflow-engine baseline (GridAnt-style).
+
+"GridAnt is a client-side workflow engine … The state information of the
+workflow is managed at the client side." (§5). That design is the contrast
+for two DfMS properties: nobody else can query the workflow's status, and
+a client disconnect loses all execution state — the workflow restarts from
+scratch, re-executing completed steps (experiment E13/E16 territory).
+
+Steps here are (name, operation, params) triples over a small op set
+(sleep / replicate / checksum / set_metadata), enough to express the
+paper's prototype pipelines without a server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError, ReplicaError
+from repro.grid.dgms import DataGridManagementSystem
+from repro.grid.users import User
+from repro.sim.kernel import Environment
+
+__all__ = ["ClientDisconnected", "ClientSideEngine", "ClientStats"]
+
+#: (step name, operation, params)
+ClientStep = Tuple[str, str, Dict[str, object]]
+
+
+class ClientDisconnected(ExecutionError):
+    """The client process died; all client-held state is gone."""
+
+
+@dataclass
+class ClientStats:
+    """Work accounting across runs (including re-runs after disconnects)."""
+
+    steps_executed: int = 0
+    steps_reexecuted: int = 0
+    seconds_working: float = 0.0
+    disconnects: int = 0
+
+
+class ClientSideEngine:
+    """Runs a step list with all state held in the client."""
+
+    def __init__(self, env: Environment, dgms: DataGridManagementSystem,
+                 user: User) -> None:
+        self.env = env
+        self.dgms = dgms
+        self.user = user
+        self.stats = ClientStats()
+        #: Steps completed across ALL runs (for re-execution accounting
+        #: only — a real client cannot see this after a crash, and the
+        #: engine never consults it to skip work).
+        self._ever_completed: set = set()
+
+    def run(self, steps: List[ClientStep],
+            disconnect_at: Optional[float] = None):
+        """Generator: execute ``steps`` in order.
+
+        If virtual time reaches ``disconnect_at`` before a step starts, the
+        client "dies": :class:`ClientDisconnected` is raised and — the
+        point of the baseline — nothing about progress survives except
+        whatever side effects already landed in the grid.
+        """
+        for name, op, params in steps:
+            if disconnect_at is not None and self.env.now >= disconnect_at:
+                self.stats.disconnects += 1
+                raise ClientDisconnected(
+                    f"client lost before step {name!r} at t={self.env.now}")
+            started = self.env.now
+            yield from self._execute(op, dict(params))
+            self.stats.steps_executed += 1
+            if name in self._ever_completed:
+                self.stats.steps_reexecuted += 1
+            self._ever_completed.add(name)
+            self.stats.seconds_working += self.env.now - started
+
+    def _execute(self, op: str, params: Dict[str, object]):
+        if op == "sleep":
+            yield self.env.timeout(float(params["duration"]))
+        elif op == "checksum":
+            yield self.dgms.checksum(self.user, params["path"])
+        elif op == "set_metadata":
+            self.dgms.set_metadata(self.user, params["path"],
+                                   params["attribute"], params["value"])
+            return
+            yield   # pragma: no cover - generator marker
+        elif op == "replicate":
+            try:
+                yield self.dgms.replicate(self.user, params["path"],
+                                          params["resource"])
+            except ReplicaError:
+                pass   # re-run after a crash: the copy already exists
+        else:
+            raise ExecutionError(f"client-side engine: unknown op {op!r}")

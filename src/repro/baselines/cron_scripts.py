@@ -1,0 +1,111 @@
+"""The cron + shell-script ILM baseline.
+
+"Currently, some simple datagrid ILM processes can be implemented using
+simple scripts and cron jobs on some operating systems. … However, once the
+requirements include multiple domains, multiple system administrators and
+multiple ILM processes, more sophisticated systems are required." (§2.1)
+
+:class:`CronScriptArchiver` is that baseline, faithfully limited: a
+periodic scan-and-copy loop with no coordination, no execution windows, no
+pause/status/provenance, and no memory beyond the grid itself. Running one
+per domain (as real sites did) exposes the §2.1 failure modes experiment
+E8 measures: work attempted outside the site's allowed window, and
+conflicting duplicate work when two administrators' scripts race on the
+same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReplicaError, ReproError
+from repro.grid.dgms import DataGridManagementSystem
+from repro.grid.users import User
+from repro.sim.calendar import ExecutionWindow
+from repro.sim.kernel import Environment
+
+__all__ = ["CronScriptArchiver", "CronStats"]
+
+
+@dataclass
+class CronStats:
+    """What the script did (and did wrong)."""
+
+    passes: int = 0
+    objects_scanned: int = 0
+    replicas_created: int = 0
+    bytes_copied: float = 0.0
+    #: Copies attempted while the site's window was closed — the script has
+    #: no window concept, so it violates freely.
+    window_violations: int = 0
+    #: Copies that raced another script and failed (duplicate work).
+    conflicts: int = 0
+    errors: int = 0
+
+
+class CronScriptArchiver:
+    """One administrator's periodic archive-everything script."""
+
+    def __init__(self, env: Environment, dgms: DataGridManagementSystem,
+                 user: User, collection: str, archive_resource: str,
+                 interval: float,
+                 window: Optional[ExecutionWindow] = None) -> None:
+        self.env = env
+        self.dgms = dgms
+        self.user = user
+        self.collection = collection
+        self.archive_resource = archive_resource
+        self.interval = interval
+        #: The window the site *should* respect; the script does not check
+        #: it — it exists here only so the stats can count violations.
+        self.window = window
+        self.stats = CronStats()
+        self._stopped = False
+
+    def start(self):
+        """Launch the cron loop as a simulation process."""
+        return self.env.process(self._loop())
+
+    def stop(self) -> None:
+        """Disable the loop; it exits after the current pass."""
+        self._stopped = True
+
+    def _members(self):
+        return {m.name
+                for m in self.dgms.resources.logical(
+                    self.archive_resource).members}
+
+    def _loop(self):
+        while not self._stopped:
+            yield from self._one_pass()
+            self.stats.passes += 1
+            yield self.env.timeout(self.interval)
+
+    def _one_pass(self):
+        members = self._members()
+        if not self.dgms.namespace.exists(self.collection):
+            return
+        paths = [obj.path
+                 for obj in self.dgms.namespace.iter_objects(self.collection)]
+        for path in paths:
+            self.stats.objects_scanned += 1
+            if not self.dgms.namespace.exists(path):
+                continue   # another script deleted it mid-scan
+            obj = self.dgms.namespace.resolve_object(path)
+            if any(replica.physical_name in members
+                   for replica in obj.good_replicas()):
+                continue   # already archived
+            if self.window is not None and not self.window.contains(
+                    self.env.now):
+                self.stats.window_violations += 1
+                # ... and the script copies anyway: it cannot know better.
+            try:
+                yield self.dgms.replicate(self.user, path,
+                                          self.archive_resource)
+                self.stats.replicas_created += 1
+                self.stats.bytes_copied += obj.size
+            except ReplicaError:
+                self.stats.conflicts += 1
+            except ReproError:
+                self.stats.errors += 1

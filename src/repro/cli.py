@@ -1,0 +1,244 @@
+"""The ``datagridflow`` command-line tool.
+
+Operator-facing utilities over DGL documents and the simulated grid:
+
+* ``validate``  — parse + schema-check a DGL request document;
+* ``render``    — draw a document's flow as a text tree;
+* ``structure`` — print a model class's schema structure (the paper's
+  Figs. 1–4, regenerated on demand);
+* ``moml2dgl`` / ``dgl2moml`` — convert between the IDE's MoML models and
+  DGL requests;
+* ``demo``      — run a named scenario end to end and print its summary.
+
+Exposed as the ``datagridflow`` console script (see ``pyproject.toml``)
+and runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.dgl import (
+    DataGridRequest,
+    Flow,
+    flow_to_moml,
+    moml_to_flow,
+    render_flow,
+    request_from_xml,
+    request_to_xml,
+    structure_of,
+    validate_request,
+)
+
+__all__ = ["main"]
+
+_STRUCTURE_CLASSES = {}
+
+
+def _structure_classes():
+    if not _STRUCTURE_CLASSES:
+        from repro.dgl.model import (
+            DataGridRequest as Request,
+            DataGridResponse,
+            Flow as FlowModel,
+            FlowLogic,
+            Step,
+        )
+        _STRUCTURE_CLASSES.update({
+            "Flow": FlowModel,
+            "FlowLogic": FlowLogic,
+            "Step": Step,
+            "DataGridRequest": Request,
+            "DataGridResponse": DataGridResponse,
+        })
+    return _STRUCTURE_CLASSES
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _write(path: Optional[str], text: str) -> None:
+    if path is None or path == "-":
+        print(text)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+
+
+# -- commands ------------------------------------------------------------
+
+
+def _cmd_validate(args) -> int:
+    request = request_from_xml(_read(args.document))
+    validate_request(request)
+    body = request.body
+    if isinstance(body, Flow):
+        print(f"OK: flow {body.name!r} with {body.count_steps()} steps, "
+              f"depth {body.depth()}, user {request.user}")
+    else:
+        print(f"OK: status query for {body.request_id}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    request = request_from_xml(_read(args.document))
+    if not isinstance(request.body, Flow):
+        print("document is a status query; nothing to render",
+              file=sys.stderr)
+        return 1
+    print(render_flow(request.body))
+    return 0
+
+
+def _cmd_structure(args) -> int:
+    classes = _structure_classes()
+    if args.model not in classes:
+        print(f"unknown model {args.model!r}; choose from "
+              f"{', '.join(sorted(classes))}", file=sys.stderr)
+        return 1
+    print(structure_of(classes[args.model], max_depth=args.depth))
+    return 0
+
+
+def _cmd_moml2dgl(args) -> int:
+    flow = moml_to_flow(_read(args.model))
+    request = DataGridRequest(user=args.user,
+                              virtual_organization=args.vo, body=flow,
+                              asynchronous=True)
+    _write(args.output, request_to_xml(request))
+    return 0
+
+
+def _cmd_dgl2moml(args) -> int:
+    request = request_from_xml(_read(args.document))
+    if not isinstance(request.body, Flow):
+        print("document is a status query; nothing to convert",
+              file=sys.stderr)
+        return 1
+    _write(args.output, flow_to_moml(request.body))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.baselines import dgl_integrity_flow
+    from repro.workloads import (
+        bbsrc_scenario,
+        cms_scenario,
+        ucsd_library_scenario,
+    )
+
+    if args.scenario == "library":
+        scenario = ucsd_library_scenario(n_files=args.files)
+        user = scenario.users["librarian"]
+        flow = dgl_integrity_flow("/library/ingest", "library-tape")
+    elif args.scenario == "bbsrc":
+        from repro.ilm import ILMManager, imploding_star_policy
+        scenario = bbsrc_scenario(n_hospitals=3,
+                                  files_per_hospital=args.files)
+        manager = ILMManager(scenario.server)
+        manager.add_policy(imploding_star_policy(
+            name="pull", collection="/bbsrc", archiver_domain="ral",
+            archive_resource="ral-tape"))
+        user = scenario.users["archivist"]
+        flow = manager.policy("pull").compile_to_flow()
+    else:
+        from repro.ilm import exploding_star_flow
+        scenario = cms_scenario(n_events=args.files)
+        user = scenario.users["physicist"]
+        flow = exploding_star_flow(
+            "stage-out", "/cms/run1",
+            tier_resources=[scenario.extras["tier1_resources"],
+                            scenario.extras["tier2_resources"]])
+
+    def go():
+        response = yield scenario.env.process(scenario.server.submit_sync(
+            DataGridRequest(user=user.qualified_name,
+                            virtual_organization="demo", body=flow)))
+        return response
+
+    response = scenario.run(go())
+    state = response.body.state.value
+    print(f"scenario {args.scenario!r}: {state} at virtual "
+          f"t={scenario.env.now:.1f} s")
+    print(f"  provenance records: {len(scenario.provenance)}")
+    print(f"  WAN bytes moved:    "
+          f"{scenario.dgms.transfers.total_bytes_moved / 1e6:.1f} MB")
+    return 0 if state == "completed" else 1
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="datagridflow",
+        description="Datagridflow utilities (DGL documents and demos).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate",
+                                   help="schema-check a DGL document")
+    validate.add_argument("document", help="path to the XML ('-' = stdin)")
+    validate.set_defaults(handler=_cmd_validate)
+
+    render = commands.add_parser("render",
+                                 help="draw a DGL flow as a text tree")
+    render.add_argument("document", help="path to the XML ('-' = stdin)")
+    render.set_defaults(handler=_cmd_render)
+
+    structure = commands.add_parser(
+        "structure", help="print a DGL model class structure (Figs. 1-4)")
+    structure.add_argument("model",
+                           help="Flow | FlowLogic | Step | DataGridRequest "
+                                "| DataGridResponse")
+    structure.add_argument("--depth", type=int, default=3)
+    structure.set_defaults(handler=_cmd_structure)
+
+    moml2dgl = commands.add_parser("moml2dgl",
+                                   help="convert a MoML model to a DGL "
+                                        "request")
+    moml2dgl.add_argument("model", help="path to the MoML ('-' = stdin)")
+    moml2dgl.add_argument("--user", default="user@domain")
+    moml2dgl.add_argument("--vo", default="default")
+    moml2dgl.add_argument("-o", "--output", default=None)
+    moml2dgl.set_defaults(handler=_cmd_moml2dgl)
+
+    dgl2moml = commands.add_parser("dgl2moml",
+                                   help="convert a DGL request to MoML")
+    dgl2moml.add_argument("document", help="path to the XML ('-' = stdin)")
+    dgl2moml.add_argument("-o", "--output", default=None)
+    dgl2moml.set_defaults(handler=_cmd_dgl2moml)
+
+    demo = commands.add_parser("demo", help="run a named scenario")
+    demo.add_argument("scenario", choices=("library", "bbsrc", "cms"))
+    demo.add_argument("--files", type=int, default=6)
+    demo.set_defaults(handler=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Simulated compute resources.
+
+Data-intensive workflows run business logic on "a certain number of compute
+nodes" (§2.3). A :class:`ComputeResource` models one cluster at one domain:
+a bounded pool of core slots with a relative speed factor. Execution time
+for a task is ``base_duration / speed_factor`` once a slot is held; queueing
+for slots is what makes scheduling heuristics matter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchedulingError
+from repro.sim.kernel import Environment
+from repro.sim.resources import Request, Resource
+
+__all__ = ["ComputeResource"]
+
+
+class ComputeResource:
+    """A pool of cores at one domain."""
+
+    def __init__(self, name: str, domain: str, cores: int,
+                 speed_factor: float = 1.0,
+                 env: Optional[Environment] = None) -> None:
+        if cores < 1:
+            raise SchedulingError(f"cores must be >= 1, got {cores}")
+        if speed_factor <= 0:
+            raise SchedulingError(f"speed factor must be positive, got {speed_factor}")
+        self.name = name
+        self.domain = domain
+        self.cores = cores
+        self.speed_factor = float(speed_factor)
+        self.online = True
+        self._slots: Optional[Resource] = None
+        if env is not None:
+            self.attach(env)
+        # Accounting for the cost model's "CPU cycles left idle" term.
+        self.busy_core_seconds = 0.0
+        self.tasks_run = 0
+
+    def attach(self, env: Environment) -> None:
+        """Bind the core pool to a simulation environment."""
+        self.env = env
+        self._slots = Resource(env, capacity=self.cores)
+
+    @property
+    def slots(self) -> Resource:
+        if self._slots is None:
+            raise SchedulingError(
+                f"compute resource {self.name!r} is not attached to an "
+                "environment")
+        return self._slots
+
+    @property
+    def cores_in_use(self) -> int:
+        return self.slots.count
+
+    @property
+    def queue_length(self) -> int:
+        return self.slots.queue_length
+
+    def run_time(self, base_duration: float) -> float:
+        """Wall time for a task of ``base_duration`` reference seconds."""
+        if base_duration < 0:
+            raise SchedulingError(f"negative duration: {base_duration}")
+        return base_duration / self.speed_factor
+
+    def execute(self, base_duration: float):
+        """Generator: acquire a core, run the task, release (timed)."""
+        request: Request = self.slots.request()
+        yield request
+        try:
+            duration = self.run_time(base_duration)
+            yield self.env.timeout(duration)
+            self.busy_core_seconds += duration
+            self.tasks_run += 1
+        finally:
+            self.slots.release(request)
+
+    def idle_core_seconds(self, horizon_seconds: float) -> float:
+        """Idle core-seconds over ``[0, horizon]`` — the §2.3 idle-CPU cost."""
+        return max(0.0, self.cores * horizon_seconds - self.busy_core_seconds)
+
+    def __repr__(self) -> str:
+        return (f"<ComputeResource {self.name} @{self.domain} "
+                f"{self.cores}x{self.speed_factor:g}>")

@@ -1,0 +1,147 @@
+"""Programmatic monitoring of running datagridflows.
+
+§2.1's requirement list includes a "programmatic API to query and monitor
+any step in the datagrid ILM process". Status queries (pull) exist on the
+server; this module adds the push half: an :class:`ExecutionMonitor`
+subscribes to the engine's event stream and fans events out to filtered
+watchers — by request, by step path, by event kind — plus simulation
+events that trigger when a given task reaches a given state (so flows can
+be coordinated from other processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dgl.model import ExecutionState
+from repro.dfms.server import DfMSServer
+from repro.sim.kernel import Event
+
+__all__ = ["EngineEvent", "ExecutionMonitor"]
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One observed engine event, as delivered to watchers."""
+
+    kind: str                 # step_started / step_completed / paused / ...
+    request_id: str
+    instance_key: str         # step/flow instance path ('' for the root)
+    time: float
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class ExecutionMonitor:
+    """Filtered push notifications over one server's engine events."""
+
+    def __init__(self, server: DfMSServer) -> None:
+        self.server = server
+        self.events_seen = 0
+        self._watchers: List[Tuple[dict, Callable[[EngineEvent], None]]] = []
+        self._waits: List[Tuple[dict, Event]] = []
+        server.engine.listeners.append(self._on_engine_event)
+
+    # -- subscription -----------------------------------------------------
+
+    def watch(self, callback: Callable[[EngineEvent], None],
+              request_id: Optional[str] = None,
+              kind: Optional[str] = None,
+              key_prefix: Optional[str] = None) -> Callable[[], None]:
+        """Register a watcher; returns an unsubscribe function.
+
+        Every filter is optional and conjunctive: ``request_id`` pins one
+        execution, ``kind`` one event kind (e.g. ``step_completed``),
+        ``key_prefix`` a task subtree (e.g. ``stage-2/``).
+        """
+        filters = {"request_id": request_id, "kind": kind,
+                   "key_prefix": key_prefix}
+        entry = (filters, callback)
+        self._watchers.append(entry)
+
+        def _unsubscribe() -> None:
+            try:
+                self._watchers.remove(entry)
+            except ValueError:
+                pass
+
+        return _unsubscribe
+
+    def wait_for(self, request_id: str, key: str = "",
+                 state: ExecutionState = ExecutionState.COMPLETED) -> Event:
+        """Simulation event triggering when task ``key`` reaches ``state``.
+
+        Triggers immediately if the task is already there. Yields the
+        matching :class:`EngineEvent` (or a synthetic one when already
+        satisfied).
+        """
+        event = self.server.env.event()
+        status = self.server.status(request_id).find(key)
+        if status is not None and status.state is state:
+            event.succeed(EngineEvent(
+                kind="already", request_id=request_id, instance_key=key,
+                time=self.server.env.now))
+            return event
+        kind = {
+            ExecutionState.COMPLETED: "completed",
+            ExecutionState.FAILED: "failed",
+            ExecutionState.RUNNING: "started",
+            ExecutionState.CANCELLED: "cancelled",
+        }.get(state)
+        self._waits.append(({"request_id": request_id, "key": key,
+                             "suffix": kind}, event))
+        return event
+
+    # -- delivery ------------------------------------------------------------
+
+    @staticmethod
+    def _matches(filters: dict, event: EngineEvent) -> bool:
+        if (filters["request_id"] is not None
+                and event.request_id != filters["request_id"]):
+            return False
+        if filters["kind"] is not None and event.kind != filters["kind"]:
+            return False
+        if (filters["key_prefix"] is not None
+                and not event.instance_key.startswith(filters["key_prefix"])):
+            return False
+        return True
+
+    def _on_engine_event(self, kind, execution, instance_key, time,
+                         detail) -> None:
+        self.events_seen += 1
+        event = EngineEvent(kind=kind, request_id=execution.request_id,
+                            instance_key=instance_key, time=time,
+                            detail=dict(detail))
+        for filters, callback in list(self._watchers):
+            if self._matches(filters, event):
+                callback(event)
+        # Loop instances carry iteration suffixes ("loop[2]/work"); a wait
+        # on the *definition* path matches any instance of it.
+        stripped = _strip_iterations(instance_key)
+        for entry in list(self._waits):
+            filters, sim_event = entry
+            if execution.request_id != filters["request_id"]:
+                continue
+            if filters["suffix"] is None or not kind.endswith(
+                    filters["suffix"]):
+                # Execution-level waits match execution_* events on key ''.
+                continue
+            if stripped != filters["key"] and instance_key != filters["key"]:
+                continue
+            self._waits.remove(entry)
+            if not sim_event.triggered:
+                sim_event.succeed(event)
+
+
+def _strip_iterations(key: str) -> str:
+    """Remove ``[i]`` iteration suffixes from an instance key."""
+    out = []
+    depth = 0
+    for char in key:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif depth == 0:
+            out.append(char)
+    return "".join(out)

@@ -1,0 +1,32 @@
+"""Grid scheduling and brokering (§3.2 "Grid Schedulers and Brokers").
+
+Cost model, bag-of-tasks heuristics, DAG (HEFT) scheduling, runtime
+late-binding placement, and the abstract→concrete rewriter.
+"""
+
+from repro.dfms.scheduler.cost import (
+    CostBreakdown,
+    CostModel,
+    CostWeights,
+    TaskSpec,
+)
+from repro.dfms.scheduler.dag import TaskGraph, schedule_heft
+from repro.dfms.scheduler.heuristics import (
+    POLICIES,
+    Assignment,
+    SchedulePlan,
+    schedule_tasks,
+)
+from repro.dfms.scheduler.placer import Placer
+from repro.dfms.scheduler.rewriter import (
+    bind_flow_early,
+    pinned_steps,
+    task_spec_for_exec,
+)
+
+__all__ = [
+    "TaskSpec", "CostModel", "CostWeights", "CostBreakdown",
+    "schedule_tasks", "SchedulePlan", "Assignment", "POLICIES",
+    "TaskGraph", "schedule_heft",
+    "Placer", "bind_flow_early", "pinned_steps", "task_spec_for_exec",
+]

@@ -1,0 +1,178 @@
+"""DAG scheduling: task graphs and a HEFT-style heuristic.
+
+Grid workflows are DAGs — "a single grid workflow process could have
+multiple tasks that might have to be executed at different domains" with
+input/output data dependencies (§2.3). :class:`TaskGraph` captures the
+dependency structure (edges carry the bytes flowing between tasks), and
+:func:`schedule_heft` implements Heterogeneous-Earliest-Finish-Time list
+scheduling: rank tasks by upward rank (critical-path distance using mean
+costs), then place each, in rank order, where its earliest finish time is
+smallest, accounting for when its predecessors' outputs arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.dfms.compute import ComputeResource
+from repro.dfms.scheduler.cost import CostModel, TaskSpec
+from repro.dfms.scheduler.heuristics import Assignment, SchedulePlan
+
+__all__ = ["TaskGraph", "schedule_heft"]
+
+
+class TaskGraph:
+    """A DAG of :class:`TaskSpec` nodes with data-volume edges."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, TaskSpec] = {}
+        #: (producer, consumer) -> bytes transferred between them.
+        self._edges: Dict[Tuple[str, str], float] = {}
+
+    def add_task(self, task: TaskSpec) -> TaskSpec:
+        """Add a task node (names are unique)."""
+        if task.name in self._tasks:
+            raise SchedulingError(f"duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def add_edge(self, producer: str, consumer: str, nbytes: float = 0.0) -> None:
+        """Add a dependency edge carrying ``nbytes`` of data (rejects cycles)."""
+        for name in (producer, consumer):
+            if name not in self._tasks:
+                raise SchedulingError(f"unknown task {name!r}")
+        if producer == consumer:
+            raise SchedulingError("self-dependency")
+        self._edges[(producer, consumer)] = float(nbytes)
+        if self._has_cycle():
+            del self._edges[(producer, consumer)]
+            raise SchedulingError(
+                f"edge {producer!r}->{consumer!r} would create a cycle")
+
+    def task(self, name: str) -> TaskSpec:
+        """The task called ``name`` (raises if unknown)."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise SchedulingError(f"unknown task {name!r}") from None
+
+    def tasks(self) -> List[TaskSpec]:
+        """All tasks, name-sorted."""
+        return [self._tasks[name] for name in sorted(self._tasks)]
+
+    def predecessors(self, name: str) -> List[Tuple[TaskSpec, float]]:
+        """(task, bytes) pairs feeding into ``name``."""
+        return [(self._tasks[p], nbytes)
+                for (p, c), nbytes in sorted(self._edges.items()) if c == name]
+
+    def successors(self, name: str) -> List[Tuple[TaskSpec, float]]:
+        """(task, bytes) pairs consuming ``name``'s output."""
+        return [(self._tasks[c], nbytes)
+                for (p, c), nbytes in sorted(self._edges.items()) if p == name]
+
+    def _has_cycle(self) -> bool:
+        colors: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            colors[node] = 1
+            for successor, _ in self.successors(node):
+                state = colors.get(successor.name, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(successor.name):
+                    return True
+            colors[node] = 2
+            return False
+
+        return any(colors.get(name, 0) == 0 and visit(name)
+                   for name in self._tasks)
+
+    def topological_order(self) -> List[TaskSpec]:
+        """Tasks in a dependency-respecting order (raises on cycles)."""
+        order: List[TaskSpec] = []
+        indegree = {name: len(self.predecessors(name)) for name in self._tasks}
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        while ready:
+            name = ready.pop(0)
+            order.append(self._tasks[name])
+            for successor, _ in self.successors(name):
+                indegree[successor.name] -= 1
+                if indegree[successor.name] == 0:
+                    ready.append(successor.name)
+                    ready.sort()
+        if len(order) != len(self._tasks):
+            raise SchedulingError("graph has a cycle")
+        return order
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+
+def _mean_compute_seconds(task: TaskSpec,
+                          resources: Sequence[ComputeResource]) -> float:
+    return sum(r.run_time(task.duration) for r in resources) / len(resources)
+
+
+def _mean_transfer_seconds(nbytes: float, cost_model: CostModel,
+                           resources: Sequence[ComputeResource]) -> float:
+    """Average inter-resource transfer time for ``nbytes``."""
+    if nbytes <= 0:
+        return 0.0
+    times = []
+    for src in resources:
+        for dst in resources:
+            if src.domain != dst.domain:
+                times.append(cost_model.dgms.topology.transfer_time(
+                    src.domain, dst.domain, nbytes))
+    return sum(times) / len(times) if times else 0.0
+
+
+def schedule_heft(graph: TaskGraph, resources: Sequence[ComputeResource],
+                  cost_model: CostModel) -> SchedulePlan:
+    """HEFT-style DAG scheduling; returns a :class:`SchedulePlan`."""
+    if not resources:
+        raise SchedulingError("cannot schedule on zero resources")
+    resources = sorted(resources, key=lambda r: r.name)
+
+    # Upward ranks (critical-path length to the exit, on mean costs).
+    rank: Dict[str, float] = {}
+    for task in reversed(graph.topological_order()):
+        successor_part = 0.0
+        for successor, nbytes in graph.successors(task.name):
+            successor_part = max(
+                successor_part,
+                _mean_transfer_seconds(nbytes, cost_model, resources)
+                + rank[successor.name])
+        rank[task.name] = _mean_compute_seconds(task, resources) + successor_part
+
+    lanes: Dict[str, List[float]] = {r.name: [0.0] * r.cores for r in resources}
+    placement: Dict[str, Assignment] = {}
+
+    for task in sorted(graph.tasks(), key=lambda t: (-rank[t.name], t.name)):
+        best: Optional[Assignment] = None
+        for resource in resources:
+            # Earliest moment every predecessor's data has arrived here.
+            data_ready = 0.0
+            for predecessor, nbytes in graph.predecessors(task.name):
+                pred_assignment = placement[predecessor.name]
+                arrival = pred_assignment.estimated_finish
+                if pred_assignment.resource.domain != resource.domain:
+                    arrival += cost_model.dgms.topology.transfer_time(
+                        pred_assignment.resource.domain, resource.domain,
+                        nbytes)
+                data_ready = max(data_ready, arrival)
+            stage_in = cost_model.stage_in_seconds(task, resource)
+            start = max(min(lanes[resource.name]), data_ready)
+            finish = (start + stage_in + resource.run_time(task.duration)
+                      + cost_model.stage_out_seconds(task, resource))
+            if best is None or finish < best.estimated_finish:
+                best = Assignment(task=task, resource=resource,
+                                  estimated_start=start,
+                                  estimated_finish=finish)
+        lane_times = lanes[best.resource.name]
+        lane_times[lane_times.index(min(lane_times))] = best.estimated_finish
+        placement[task.name] = best
+
+    ordered = sorted(placement.values(), key=lambda a: a.estimated_start)
+    return SchedulePlan(policy="heft", assignments=list(ordered))

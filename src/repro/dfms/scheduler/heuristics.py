@@ -1,0 +1,216 @@
+"""Scheduling heuristics.
+
+"The scheduling or selection of the appropriate resources for each task has
+to choose the location for execution of a task based on: the available
+physical locations of input data (replicas), desired physical location of
+the output data, location of the business logic (code) and the available
+resources" (§2.3). The cost is "just an approximate value based on certain
+heuristics used by the scheduler" — these are the heuristics.
+
+Static list scheduling over a bag of tasks (plus HEFT over DAGs in
+:mod:`repro.dfms.scheduler.dag`): each heuristic produces a
+:class:`SchedulePlan` of (task → resource) assignments with estimated start
+and finish times. Baselines ``random`` and ``round_robin`` ignore costs;
+the informed heuristics consult the :class:`~repro.dfms.scheduler.cost
+.CostModel` — that gap is experiment E4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.dfms.compute import ComputeResource
+from repro.dfms.scheduler.cost import CostModel, TaskSpec
+
+__all__ = ["Assignment", "SchedulePlan", "schedule_tasks", "POLICIES"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One task pinned to one resource, with estimated times."""
+
+    task: TaskSpec
+    resource: ComputeResource
+    estimated_start: float
+    estimated_finish: float
+
+
+@dataclass
+class SchedulePlan:
+    """A full static schedule."""
+
+    policy: str
+    assignments: List[Assignment] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """Estimated completion time of the last task."""
+        if not self.assignments:
+            return 0.0
+        return max(a.estimated_finish for a in self.assignments)
+
+    def resource_for(self, task_name: str) -> ComputeResource:
+        """The resource ``task_name`` was assigned to."""
+        for assignment in self.assignments:
+            if assignment.task.name == task_name:
+                return assignment.resource
+        raise SchedulingError(f"no assignment for task {task_name!r}")
+
+    def estimated_bytes_moved(self, cost_model: CostModel) -> float:
+        """Total WAN bytes the plan's placements would move."""
+        return sum(cost_model.bytes_moved(a.task, a.resource)
+                   for a in self.assignments)
+
+
+class _State:
+    """Per-resource availability during list scheduling."""
+
+    def __init__(self, resources: Sequence[ComputeResource]) -> None:
+        if not resources:
+            raise SchedulingError("cannot schedule on zero resources")
+        self.resources = list(resources)
+        # Each resource is modeled as `cores` lanes; tasks take the
+        # earliest-free lane.
+        self.lanes: Dict[str, List[float]] = {
+            r.name: [0.0] * r.cores for r in self.resources}
+
+    def completion(self, task: TaskSpec, resource: ComputeResource,
+                   cost_model: CostModel) -> Tuple[float, float]:
+        """(start, finish) if ``task`` were placed on ``resource`` now."""
+        parts = cost_model.estimate(task, resource)
+        start = min(self.lanes[resource.name])
+        finish = (start + parts.stage_in_seconds + parts.compute_seconds
+                  + parts.stage_out_seconds)
+        return start, finish
+
+    def commit(self, task: TaskSpec, resource: ComputeResource,
+               cost_model: CostModel) -> Assignment:
+        start, finish = self.completion(task, resource, cost_model)
+        lanes = self.lanes[resource.name]
+        lanes[lanes.index(min(lanes))] = finish
+        return Assignment(task=task, resource=resource,
+                          estimated_start=start, estimated_finish=finish)
+
+
+def _schedule_random(tasks, resources, cost_model, state, rng):
+    if rng is None:
+        raise SchedulingError("the random policy needs a seeded rng")
+    return [state.commit(task, rng.choice(state.resources), cost_model)
+            for task in tasks]
+
+
+def _schedule_round_robin(tasks, resources, cost_model, state, rng):
+    return [state.commit(task, state.resources[i % len(state.resources)],
+                         cost_model)
+            for i, task in enumerate(tasks)]
+
+
+def _schedule_greedy(tasks, resources, cost_model, state, rng):
+    """In submission order, place each task where it finishes earliest."""
+    assignments = []
+    for task in tasks:
+        best = min(state.resources,
+                   key=lambda r: (state.completion(task, r, cost_model)[1],
+                                  r.name))
+        assignments.append(state.commit(task, best, cost_model))
+    return assignments
+
+
+def _schedule_min_min(tasks, resources, cost_model, state, rng):
+    """Repeatedly place the task with the globally smallest completion.
+
+    Classic min-min: favours short tasks first, packing them tightly; known
+    strong on mixes dominated by short tasks.
+    """
+    pending = list(tasks)
+    assignments = []
+    while pending:
+        best_task, best_resource, best_finish = None, None, float("inf")
+        for task in pending:
+            resource = min(state.resources,
+                           key=lambda r: (state.completion(task, r,
+                                                           cost_model)[1],
+                                          r.name))
+            _, finish = state.completion(task, resource, cost_model)
+            if finish < best_finish:
+                best_task, best_resource, best_finish = task, resource, finish
+        assignments.append(state.commit(best_task, best_resource, cost_model))
+        pending.remove(best_task)
+    return assignments
+
+
+def _schedule_max_min(tasks, resources, cost_model, state, rng):
+    """Like min-min but places the *longest* task first — protects the
+    makespan from one huge task landing late."""
+    pending = list(tasks)
+    assignments = []
+    while pending:
+        best_task, best_resource, best_finish = None, None, -1.0
+        for task in pending:
+            resource = min(state.resources,
+                           key=lambda r: (state.completion(task, r,
+                                                           cost_model)[1],
+                                          r.name))
+            _, finish = state.completion(task, resource, cost_model)
+            if finish > best_finish:
+                best_task, best_resource, best_finish = task, resource, finish
+        assignments.append(state.commit(best_task, best_resource, cost_model))
+        pending.remove(best_task)
+    return assignments
+
+
+def _schedule_sufferage(tasks, resources, cost_model, state, rng):
+    """Place the task that would *suffer* most if denied its best spot.
+
+    Classic sufferage (Maheswaran et al.): for each pending task compute
+    the gap between its best and second-best completion times; schedule
+    the task with the largest gap onto its best resource. Strong when
+    resources are heterogeneous and tasks have strong affinities (data
+    gravity).
+    """
+    pending = list(tasks)
+    assignments = []
+    while pending:
+        best_task, best_resource, best_gap = None, None, -1.0
+        for task in pending:
+            finishes = sorted(
+                (state.completion(task, resource, cost_model)[1],
+                 resource.name, resource)
+                for resource in state.resources)
+            first = finishes[0]
+            gap = (finishes[1][0] - first[0]) if len(finishes) > 1 else 0.0
+            if gap > best_gap:
+                best_task, best_resource, best_gap = task, first[2], gap
+        assignments.append(state.commit(best_task, best_resource, cost_model))
+        pending.remove(best_task)
+    return assignments
+
+
+POLICIES: Dict[str, Callable] = {
+    "random": _schedule_random,
+    "round_robin": _schedule_round_robin,
+    "greedy": _schedule_greedy,
+    "min_min": _schedule_min_min,
+    "max_min": _schedule_max_min,
+    "sufferage": _schedule_sufferage,
+}
+
+
+def schedule_tasks(tasks: Sequence[TaskSpec],
+                   resources: Sequence[ComputeResource],
+                   cost_model: CostModel,
+                   policy: str = "min_min",
+                   rng: Optional[random.Random] = None) -> SchedulePlan:
+    """Produce a static schedule of ``tasks`` onto ``resources``."""
+    try:
+        implementation = POLICIES[policy]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown policy {policy!r} (choose from {sorted(POLICIES)})") from None
+    state = _State(resources)
+    assignments = implementation(list(tasks), list(resources), cost_model,
+                                 state, rng)
+    return SchedulePlan(policy=policy, assignments=assignments)

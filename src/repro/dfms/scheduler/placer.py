@@ -1,0 +1,64 @@
+"""Runtime (late-binding) task placement.
+
+"The group of tasks … would have to be dynamically converted into
+infrastructure-based execution logic very late in the process, just before
+execution. This late binding allows execution of each iteration at a
+different location based on the infrastructure availability just before the
+tasks are executed." (§2.3)
+
+The :class:`Placer` is that conversion for a single task: candidates from
+the matchmaker, scored by the live cost model, chosen by policy. The DfMS
+``exec`` operation calls it at the instant the step runs, so every loop
+iteration sees current queue depths, replica locations, and resource
+availability.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import SchedulingError
+from repro.dfms.compute import ComputeResource
+from repro.dfms.idl import InfrastructureDescription
+from repro.dfms.scheduler.cost import CostModel, TaskSpec
+
+__all__ = ["Placer"]
+
+_POLICIES = ("greedy", "random", "round_robin")
+
+
+class Placer:
+    """Chooses a compute resource for one task, right now."""
+
+    def __init__(self, infrastructure: InfrastructureDescription,
+                 cost_model: CostModel, policy: str = "greedy",
+                 rng: Optional[random.Random] = None) -> None:
+        if policy not in _POLICIES:
+            raise SchedulingError(
+                f"unknown placement policy {policy!r} (choose from {_POLICIES})")
+        if policy == "random" and rng is None:
+            raise SchedulingError("the random policy needs a seeded rng")
+        self.infrastructure = infrastructure
+        self.cost_model = cost_model
+        self.policy = policy
+        self._rng = rng
+        self._round_robin_index = 0
+
+    def place(self, virtual_organization: str,
+              task: TaskSpec) -> ComputeResource:
+        """Pick the compute resource ``task`` should run on."""
+        requirements = task.requirements
+        candidates = self.infrastructure.candidates(
+            virtual_organization,
+            resource_type=requirements.get("resource_type"),
+            min_cores=int(requirements.get("min_cores", 0)),
+            min_speed=float(requirements.get("min_speed", 0.0)))
+        if self.policy == "random":
+            return self._rng.choice(candidates)
+        if self.policy == "round_robin":
+            choice = candidates[self._round_robin_index % len(candidates)]
+            self._round_robin_index += 1
+            return choice
+        return min(candidates,
+                   key=lambda c: (self.cost_model.total(task, c), c.name))

@@ -1,0 +1,111 @@
+"""Virtual data: a Chimera-like derivation catalog.
+
+"If the required output data is already available (virtual data), it need
+not be derived again" (§2.3); the DfMS server "can provide the concepts of
+virtual data by incorporating a virtual data system as a component. The
+GriPhyN Chimera System is an example" (§3.2).
+
+The catalog records, for every materialized derivation, the
+*transformation* (business-logic name), the exact input objects (path +
+version, so an overwritten input invalidates the derivation), and the
+parameters. Before running an ``exec`` step that declares a
+``transformation``, the DfMS asks the catalog; a hit means the output
+already exists somewhere in the grid and the computation is skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.grid.dgms import DataGridManagementSystem
+
+__all__ = ["Derivation", "VirtualDataCatalog"]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One recorded materialization."""
+
+    transformation: str
+    input_signature: Tuple[Tuple[str, int], ...]   # ((path, version), ...)
+    parameter_signature: Tuple[Tuple[str, str], ...]
+    output_path: str
+    recorded_at: float
+
+
+class VirtualDataCatalog:
+    """Lookup-before-compute over recorded derivations."""
+
+    def __init__(self, dgms: DataGridManagementSystem) -> None:
+        self.dgms = dgms
+        self._derivations: Dict[tuple, Derivation] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ------------------------------------------------------------
+
+    def _input_signature(self, input_paths: Sequence[str]):
+        signature = []
+        for path in sorted(input_paths):
+            obj = self.dgms.namespace.resolve_object(path)
+            signature.append((path, obj.version))
+        return tuple(signature)
+
+    @staticmethod
+    def _parameter_signature(parameters: Optional[Dict]) -> tuple:
+        if not parameters:
+            return ()
+        return tuple(sorted((str(k), str(v)) for k, v in parameters.items()))
+
+    def _key(self, transformation, input_paths, parameters) -> tuple:
+        return (transformation, self._input_signature(input_paths),
+                self._parameter_signature(parameters))
+
+    # -- operations -----------------------------------------------------------
+
+    def lookup(self, transformation: str, input_paths: Sequence[str],
+               parameters: Optional[Dict] = None) -> Optional[str]:
+        """Path of an existing equivalent output, or None.
+
+        A recorded derivation only counts if its output object still exists
+        in the namespace with at least one good replica; deleted outputs
+        fall out of the catalog naturally.
+        """
+        try:
+            key = self._key(transformation, input_paths, parameters)
+        except Exception:
+            self.misses += 1
+            return None   # an input vanished: cannot possibly match
+        derivation = self._derivations.get(key)
+        if derivation is None:
+            self.misses += 1
+            return None
+        if not self.dgms.namespace.exists(derivation.output_path):
+            del self._derivations[key]
+            self.misses += 1
+            return None
+        obj = self.dgms.namespace.resolve_object(derivation.output_path)
+        if not obj.good_replicas():
+            del self._derivations[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return derivation.output_path
+
+    def record(self, transformation: str, input_paths: Sequence[str],
+               output_path: str, parameters: Optional[Dict] = None,
+               time: float = 0.0) -> Derivation:
+        """Register a freshly materialized derivation."""
+        key = self._key(transformation, input_paths, parameters)
+        derivation = Derivation(
+            transformation=transformation,
+            input_signature=key[1],
+            parameter_signature=key[2],
+            output_path=output_path,
+            recorded_at=time)
+        self._derivations[key] = derivation
+        return derivation
+
+    def __len__(self) -> int:
+        return len(self._derivations)

@@ -1,0 +1,74 @@
+"""The Data Grid Language (DGL) — "SQL for datagrids" (§4, Appendix A).
+
+Document model (requests, flows, steps, rules, responses), XML round-trip,
+schema validation and structure introspection, a fluent builder, the
+expression language, and the operation registry.
+"""
+
+from repro.dgl.builder import FlowBuilder, flow_builder, operation
+from repro.dgl.expressions import (
+    Scope,
+    evaluate,
+    evaluate_condition,
+    render_template,
+)
+from repro.dgl.model import (
+    AFTER_EXIT,
+    BEFORE_ENTRY,
+    Action,
+    DataGridRequest,
+    DataGridResponse,
+    DocumentMetadata,
+    ExecutionState,
+    Flow,
+    FlowLogic,
+    FlowStatus,
+    FlowStatusQuery,
+    ForEach,
+    Operation,
+    Parallel,
+    Repeat,
+    RequestAcknowledgement,
+    Sequential,
+    Step,
+    SwitchCase,
+    UserDefinedRule,
+    Variable,
+    WhileLoop,
+)
+from repro.dgl.moml import flow_to_moml, moml_to_flow
+from repro.dgl.operations import OperationHandler, OperationRegistry
+from repro.dgl.render import pattern_label, render_flow, render_status
+from repro.dgl.schema import structure_of, validate_flow, validate_request
+from repro.dgl.xml_io import (
+    from_xml,
+    request_from_xml,
+    request_to_xml,
+    response_from_xml,
+    response_to_xml,
+    to_xml,
+)
+
+__all__ = [
+    # model
+    "DataGridRequest", "DataGridResponse", "DocumentMetadata",
+    "Flow", "FlowLogic", "Step", "Operation", "Variable",
+    "Action", "UserDefinedRule", "BEFORE_ENTRY", "AFTER_EXIT",
+    "Sequential", "Parallel", "WhileLoop", "Repeat", "ForEach", "SwitchCase",
+    "FlowStatusQuery", "FlowStatus", "RequestAcknowledgement",
+    "ExecutionState",
+    # xml
+    "to_xml", "from_xml", "request_to_xml", "request_from_xml",
+    "response_to_xml", "response_from_xml",
+    # schema
+    "validate_flow", "validate_request", "structure_of",
+    # builder
+    "FlowBuilder", "flow_builder", "operation",
+    # expressions
+    "Scope", "evaluate", "render_template", "evaluate_condition",
+    # operations
+    "OperationRegistry", "OperationHandler",
+    # rendering + MoML interchange
+    "render_flow", "render_status", "pattern_label",
+    "flow_to_moml", "moml_to_flow",
+]

@@ -1,0 +1,414 @@
+"""The DGL document object model.
+
+Mirrors Appendix A of the paper:
+
+* a :class:`DataGridRequest` carries document metadata, the grid user and
+  virtual organization, and either a :class:`Flow` or a
+  :class:`FlowStatusQuery` (paper Fig. 2);
+* a :class:`Flow` is a recursive control structure with three sections —
+  Variables, FlowLogic, and Children (sub-flows *or* steps, never both)
+  (paper Fig. 1);
+* :class:`FlowLogic` is a choice of control pattern plus user-defined
+  ECA rules, including the reserved ``beforeEntry`` / ``afterExit`` hooks
+  (paper Fig. 3);
+* a :class:`Step` is a concrete action: variables + rules + exactly one
+  :class:`Operation`;
+* a :class:`DataGridResponse` carries either a full :class:`FlowStatus`
+  (synchronous requests) or a :class:`RequestAcknowledgement`
+  (asynchronous requests) (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import DGLValidationError
+
+__all__ = [
+    "Variable", "Operation", "Action", "UserDefinedRule",
+    "ControlPattern", "Sequential", "Parallel", "WhileLoop", "Repeat",
+    "ForEach", "SwitchCase", "FlowLogic", "Step", "Flow",
+    "DocumentMetadata", "DataGridRequest", "FlowStatusQuery",
+    "ExecutionState", "FlowStatus", "RequestAcknowledgement",
+    "DataGridResponse", "BEFORE_ENTRY", "AFTER_EXIT",
+]
+
+#: Reserved user-defined-rule names (Appendix A).
+BEFORE_ENTRY = "beforeEntry"
+AFTER_EXIT = "afterExit"
+
+
+# --------------------------------------------------------------------------
+# Building blocks
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Variable:
+    """A variable declaration in a Flow's or Step's scope."""
+
+    name: str
+    value: Union[str, int, float, None] = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise DGLValidationError(
+                f"variable name must be an identifier, got {self.name!r}")
+
+
+@dataclass
+class Operation:
+    """The atomic action a Step performs.
+
+    ``name`` selects a handler from the operation registry (datagrid
+    operations like ``srb.put``, or ``exec`` for business logic). String
+    parameter values may contain ``${...}`` templates expanded against the
+    step's scope at execution time. ``assign_to`` optionally names a DGL
+    variable that receives the operation's result.
+    """
+
+    name: str
+    parameters: Dict[str, Union[str, int, float, None]] = field(default_factory=dict)
+    assign_to: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DGLValidationError("operation name cannot be empty")
+        if self.assign_to is not None and not self.assign_to.isidentifier():
+            raise DGLValidationError(
+                f"assign_to must be an identifier, got {self.assign_to!r}")
+
+
+@dataclass
+class Action:
+    """One named action inside a user-defined rule."""
+
+    name: str
+    operation: Operation
+
+
+@dataclass
+class UserDefinedRule:
+    """An ECA rule: evaluate ``condition``; run the action it names.
+
+    "Each UserDefinedRule has one condition and can have one or more
+    Actions. … The Actions are executed if the condition statement
+    evaluates to the name of the action." (Appendix A). A condition that
+    evaluates to boolean ``True`` is treated as naming the first action,
+    so simple guard-style rules stay terse.
+    """
+
+    name: str
+    condition: str
+    actions: List[Action] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise DGLValidationError(f"rule {self.name!r} needs at least one action")
+        names = [action.name for action in self.actions]
+        if len(names) != len(set(names)):
+            raise DGLValidationError(
+                f"rule {self.name!r} has duplicate action names")
+
+
+# --------------------------------------------------------------------------
+# Control patterns
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Sequential:
+    """Children execute one after another."""
+
+
+@dataclass
+class Parallel:
+    """Children execute concurrently; the flow completes when all do.
+
+    ``max_concurrent`` optionally bounds the fan-out (0 = unbounded).
+    """
+
+    max_concurrent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 0:
+            raise DGLValidationError("max_concurrent cannot be negative")
+
+
+@dataclass
+class WhileLoop:
+    """Children execute (in order) repeatedly while ``condition`` holds."""
+
+    condition: str
+
+    def __post_init__(self) -> None:
+        if not self.condition.strip():
+            raise DGLValidationError("while loop needs a condition")
+
+
+@dataclass
+class Repeat:
+    """Children execute ``count`` times (count may be an expression)."""
+
+    count: Union[int, str]
+
+
+@dataclass
+class ForEach:
+    """Children execute once per item.
+
+    ``item_variable`` is bound to each item in turn. Items come from either
+    ``query`` (a datagrid query in the text form of
+    :func:`repro.grid.query.parse_conditions`, run against a collection) or
+    ``items`` (an expression evaluating to a list). Exactly one must be set.
+    This is the paper's "iterating some set of tasks over collections of
+    files … processed according to a datagrid query" (§2.3).
+    """
+
+    item_variable: str
+    collection: Optional[str] = None
+    query: Optional[str] = None
+    items: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.item_variable.isidentifier():
+            raise DGLValidationError(
+                f"item variable must be an identifier, got {self.item_variable!r}")
+        has_query = self.collection is not None
+        has_items = self.items is not None
+        if has_query == has_items:
+            raise DGLValidationError(
+                "forEach needs exactly one of (collection [+ query]) or items")
+        if self.query is not None and self.collection is None:
+            raise DGLValidationError("forEach query requires a collection")
+
+
+@dataclass
+class SwitchCase:
+    """Evaluate ``expression``; execute the child whose name matches.
+
+    ``default`` optionally names the child to run when no case matches;
+    with no match and no default, the flow is a no-op.
+    """
+
+    expression: str
+    default: Optional[str] = None
+
+
+#: The closed set of control patterns a FlowLogic may choose from.
+ControlPattern = Union[Sequential, Parallel, WhileLoop, Repeat, ForEach, SwitchCase]
+
+_PATTERN_TYPES = (Sequential, Parallel, WhileLoop, Repeat, ForEach, SwitchCase)
+
+
+@dataclass
+class FlowLogic:
+    """Control-structure choice + the rules that wrap execution (Fig. 3)."""
+
+    pattern: ControlPattern = field(default_factory=Sequential)
+    rules: List[UserDefinedRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pattern, _PATTERN_TYPES):
+            raise DGLValidationError(
+                f"unknown control pattern {type(self.pattern).__name__}")
+        names = [rule.name for rule in self.rules]
+        if len(names) != len(set(names)):
+            raise DGLValidationError("duplicate rule names in flowLogic")
+
+    def rule(self, name: str) -> Optional[UserDefinedRule]:
+        """The rule called ``name``, if defined."""
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        return None
+
+
+# --------------------------------------------------------------------------
+# Steps and Flows
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Step:
+    """A concrete action: one operation, with its own scope and rules."""
+
+    name: str
+    operation: Operation
+    variables: List[Variable] = field(default_factory=list)
+    rules: List[UserDefinedRule] = field(default_factory=list)
+    #: Abstract resource requirements for the scheduler (§2.3: "describe the
+    #: requirements in terms of resource types and the service levels").
+    requirements: Dict[str, Union[str, int, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DGLValidationError("step name cannot be empty")
+
+    def rule(self, name: str) -> Optional[UserDefinedRule]:
+        """The step's rule called ``name``, if defined."""
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        return None
+
+
+@dataclass
+class Flow:
+    """The recursive control structure of Fig. 1."""
+
+    name: str
+    logic: FlowLogic = field(default_factory=FlowLogic)
+    variables: List[Variable] = field(default_factory=list)
+    children: List[Union["Flow", Step]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DGLValidationError("flow name cannot be empty")
+        kinds = {type(child) for child in self.children}
+        if Flow in kinds and Step in kinds:
+            raise DGLValidationError(
+                f"flow {self.name!r} mixes sub-flows and steps; "
+                "children must be one kind (Appendix A)")
+        names = [child.name for child in self.children]
+        if len(names) != len(set(names)):
+            raise DGLValidationError(
+                f"flow {self.name!r} has children with duplicate names")
+
+    def child(self, name: str) -> Union["Flow", Step, None]:
+        """The direct child named ``name``, or None."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def count_steps(self) -> int:
+        """Total steps in this flow, recursively."""
+        total = 0
+        for child in self.children:
+            total += child.count_steps() if isinstance(child, Flow) else 1
+        return total
+
+    def depth(self) -> int:
+        """Nesting depth (a flow of steps has depth 1)."""
+        child_depths = [child.depth() for child in self.children
+                        if isinstance(child, Flow)]
+        return 1 + (max(child_depths) if child_depths else 0)
+
+
+# --------------------------------------------------------------------------
+# Requests
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class DocumentMetadata:
+    """Descriptive header on every DGL document."""
+
+    document_id: Optional[str] = None
+    created_at: Optional[float] = None
+    description: Optional[str] = None
+
+
+@dataclass
+class FlowStatusQuery:
+    """A query on the execution status of a submitted request.
+
+    ``request_id`` is the identifier returned in the acknowledgement;
+    ``path`` optionally narrows to one task, at any granularity, as a
+    ``/``-joined chain of flow/step names (e.g. ``ingest/stage-2/copy``).
+    """
+
+    request_id: str
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise DGLValidationError("status query needs a request id")
+
+
+@dataclass
+class DataGridRequest:
+    """The top-level request document (Fig. 2)."""
+
+    user: str
+    virtual_organization: str
+    body: Union[Flow, FlowStatusQuery]
+    metadata: DocumentMetadata = field(default_factory=DocumentMetadata)
+    #: Asynchronous requests get a RequestAcknowledgement immediately;
+    #: synchronous requests block until the flow completes (Appendix A).
+    asynchronous: bool = False
+
+    @property
+    def is_status_query(self) -> bool:
+        return isinstance(self.body, FlowStatusQuery)
+
+
+# --------------------------------------------------------------------------
+# Responses
+# --------------------------------------------------------------------------
+
+
+class ExecutionState(enum.Enum):
+    """Lifecycle of a flow, step, or whole request."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    PAUSED = "paused"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (ExecutionState.COMPLETED, ExecutionState.FAILED,
+                        ExecutionState.CANCELLED)
+
+
+@dataclass
+class FlowStatus:
+    """Recursive status of one flow or step, at any granularity."""
+
+    name: str
+    state: ExecutionState
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: Loop flows report how many iterations have completed.
+    iterations: int = 0
+    children: List["FlowStatus"] = field(default_factory=list)
+
+    def find(self, path: str) -> Optional["FlowStatus"]:
+        """Descend by ``/``-joined child names ('' or None = self)."""
+        if not path:
+            return self
+        head, _, rest = path.partition("/")
+        for child in self.children:
+            if child.name == head:
+                return child.find(rest)
+        return None
+
+
+@dataclass
+class RequestAcknowledgement:
+    """Immediate reply to an asynchronous request (Fig. 4)."""
+
+    request_id: str
+    state: ExecutionState
+    valid: bool = True
+    message: Optional[str] = None
+
+
+@dataclass
+class DataGridResponse:
+    """The top-level response document (Fig. 4)."""
+
+    request_id: str
+    body: Union[FlowStatus, RequestAcknowledgement]
+    metadata: DocumentMetadata = field(default_factory=DocumentMetadata)
+
+    @property
+    def is_acknowledgement(self) -> bool:
+        return isinstance(self.body, RequestAcknowledgement)

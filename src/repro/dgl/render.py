@@ -1,0 +1,137 @@
+"""Text rendering of flows and status trees.
+
+The paper pairs DGL with a graphical IDE (VERGIL/MoML) for novice users
+(§3.2). A GUI is out of scope here (DESIGN.md §2), but the *rendering*
+half — "view the datagridflow rendered" — is valuable for any CLI user:
+:func:`render_flow` draws the recursive structure with its control
+patterns, variables, and rules; :func:`render_status` draws a live or
+final status tree with states and timings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.dgl.model import (
+    ExecutionState,
+    Flow,
+    FlowLogic,
+    FlowStatus,
+    ForEach,
+    Parallel,
+    Repeat,
+    Sequential,
+    Step,
+    SwitchCase,
+    WhileLoop,
+)
+
+__all__ = ["render_flow", "render_status", "pattern_label"]
+
+_STATE_MARKS = {
+    ExecutionState.PENDING: " ",
+    ExecutionState.RUNNING: "~",
+    ExecutionState.PAUSED: "=",
+    ExecutionState.COMPLETED: "+",
+    ExecutionState.FAILED: "!",
+    ExecutionState.CANCELLED: "x",
+}
+
+
+def pattern_label(pattern) -> str:
+    """Compact human label for a control pattern."""
+    if isinstance(pattern, Sequential):
+        return "sequential"
+    if isinstance(pattern, Parallel):
+        if pattern.max_concurrent:
+            return f"parallel(max={pattern.max_concurrent})"
+        return "parallel"
+    if isinstance(pattern, WhileLoop):
+        return f"while({pattern.condition})"
+    if isinstance(pattern, Repeat):
+        return f"repeat({pattern.count})"
+    if isinstance(pattern, ForEach):
+        source = (pattern.collection if pattern.collection is not None
+                  else pattern.items)
+        if pattern.query:
+            source = f"{source} where {pattern.query}"
+        return f"forEach {pattern.item_variable} in {source}"
+    if isinstance(pattern, SwitchCase):
+        label = f"switch({pattern.expression})"
+        if pattern.default:
+            label += f" default={pattern.default}"
+        return label
+    return type(pattern).__name__
+
+
+def _logic_lines(logic: FlowLogic) -> List[str]:
+    lines = []
+    for rule in logic.rules:
+        actions = ", ".join(action.name for action in rule.actions)
+        lines.append(f"rule {rule.name}: {rule.condition!r} -> [{actions}]")
+    return lines
+
+
+def render_flow(flow: Flow) -> str:
+    """Draw a flow definition as an indented tree."""
+    lines: List[str] = []
+
+    def _node(node: Union[Flow, Step], prefix: str, connector: str,
+              child_prefix: str) -> None:
+        if isinstance(node, Step):
+            extras = []
+            if node.operation.assign_to:
+                extras.append(f"-> {node.operation.assign_to}")
+            if node.requirements:
+                extras.append(f"req={node.requirements}")
+            suffix = (" " + " ".join(extras)) if extras else ""
+            lines.append(f"{prefix}{connector}[step] {node.name}: "
+                         f"{node.operation.name}{suffix}")
+            return
+        lines.append(f"{prefix}{connector}[flow] {node.name} "
+                     f"({pattern_label(node.logic.pattern)})")
+        details: List[str] = []
+        if node.variables:
+            bindings = ", ".join(f"{v.name}={v.value!r}"
+                                 for v in node.variables)
+            details.append(f"vars: {bindings}")
+        details.extend(_logic_lines(node.logic))
+        for detail in details:
+            lines.append(f"{child_prefix}| {detail}")
+        for index, child in enumerate(node.children):
+            last = index == len(node.children) - 1
+            _node(child, child_prefix,
+                  "`-- " if last else "|-- ",
+                  child_prefix + ("    " if last else "|   "))
+
+    _node(flow, "", "", "")
+    return "\n".join(lines)
+
+
+def render_status(status: FlowStatus) -> str:
+    """Draw a status tree with states and timings."""
+    lines: List[str] = []
+
+    def _node(node: FlowStatus, prefix: str, connector: str,
+              child_prefix: str) -> None:
+        mark = _STATE_MARKS[node.state]
+        timing = ""
+        if node.started_at is not None:
+            end = (f"{node.finished_at:.2f}"
+                   if node.finished_at is not None else "...")
+            timing = f"  [{node.started_at:.2f} .. {end}]"
+        extras = ""
+        if node.iterations:
+            extras += f"  x{node.iterations}"
+        if node.error:
+            extras += f"  error: {node.error}"
+        lines.append(f"{prefix}{connector}[{mark}] {node.name} "
+                     f"{node.state.value}{timing}{extras}")
+        for index, child in enumerate(node.children):
+            last = index == len(node.children) - 1
+            _node(child, child_prefix,
+                  "`-- " if last else "|-- ",
+                  child_prefix + ("    " if last else "|   "))
+
+    _node(status, "", "", "")
+    return "\n".join(lines)

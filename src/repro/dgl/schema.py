@@ -1,0 +1,166 @@
+"""DGL schema: semantic validation and structure introspection.
+
+Two jobs:
+
+* :func:`validate_flow` / :func:`validate_request` enforce the structural
+  rules of Appendix A that go beyond per-class invariants — unique variable
+  names per scope, homogeneous children, switch defaults naming real
+  children, well-formed nested rule operations.
+
+* :func:`structure_of` renders the element structure of any DGL model class
+  as a text tree **derived from the dataclasses themselves** (via
+  :func:`typing.get_type_hints`). The figure-reproduction benchmarks
+  (DESIGN.md F1–F4) regenerate the paper's four schema figures from this,
+  so the documented structure can never drift from the implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import List, Union
+
+from repro.errors import DGLValidationError
+from repro.dgl.model import (
+    DataGridRequest,
+    Flow,
+    FlowStatusQuery,
+    Step,
+    UserDefinedRule,
+)
+
+__all__ = ["validate_flow", "validate_request", "structure_of"]
+
+
+# --------------------------------------------------------------------------
+# Validation
+# --------------------------------------------------------------------------
+
+
+def _check_unique_variables(owner: str, variables) -> None:
+    names = [variable.name for variable in variables]
+    if len(names) != len(set(names)):
+        raise DGLValidationError(f"{owner} declares duplicate variable names")
+
+
+def _check_rules(owner: str, rules: List[UserDefinedRule]) -> None:
+    for rule in rules:
+        if not rule.condition.strip():
+            raise DGLValidationError(
+                f"{owner}: rule {rule.name!r} has an empty condition")
+
+
+def _validate_step(step: Step, path: str) -> None:
+    where = f"step {path!r}"
+    _check_unique_variables(where, step.variables)
+    _check_rules(where, step.rules)
+    for parameter in step.operation.parameters:
+        if not parameter:
+            raise DGLValidationError(f"{where}: empty operation parameter name")
+
+
+def validate_flow(flow: Flow, _path: str = "") -> None:
+    """Validate a flow tree; raises :class:`DGLValidationError` on problems."""
+    path = f"{_path}/{flow.name}" if _path else flow.name
+    where = f"flow {path!r}"
+    _check_unique_variables(where, flow.variables)
+    _check_rules(where, flow.logic.rules)
+    pattern = flow.logic.pattern
+    # A switch default must name an actual child.
+    default = getattr(pattern, "default", None)
+    if default is not None and flow.child(default) is None:
+        raise DGLValidationError(
+            f"{where}: switch default {default!r} names no child")
+    for child in flow.children:
+        if isinstance(child, Flow):
+            validate_flow(child, path)
+        else:
+            _validate_step(child, f"{path}/{child.name}")
+
+
+def validate_request(request: DataGridRequest) -> None:
+    """Validate a full request document."""
+    if not request.user:
+        raise DGLValidationError("request needs a grid user")
+    if isinstance(request.body, FlowStatusQuery):
+        return
+    validate_flow(request.body)
+
+
+# --------------------------------------------------------------------------
+# Structure introspection (figure regeneration)
+# --------------------------------------------------------------------------
+
+
+def _type_label(annotation) -> str:
+    """Human-readable label for one field annotation."""
+    origin = typing.get_origin(annotation)
+    if origin is Union:
+        args = [arg for arg in typing.get_args(annotation)
+                if arg is not type(None)]
+        label = " | ".join(_type_label(arg) for arg in args)
+        if type(None) in typing.get_args(annotation):
+            label += "?"
+        return label
+    if origin in (list, List):
+        (arg,) = typing.get_args(annotation)
+        return f"{_type_label(arg)}*"
+    if origin is dict:
+        key, value = typing.get_args(annotation)
+        return f"map<{_type_label(key)}, {_type_label(value)}>"
+    if dataclasses.is_dataclass(annotation):
+        return annotation.__name__
+    name = getattr(annotation, "__name__", None)
+    return name if name is not None else str(annotation)
+
+
+def _expandable_classes(annotation) -> list:
+    """Dataclasses mentioned by an annotation, for recursive expansion."""
+    origin = typing.get_origin(annotation)
+    if origin is Union:
+        out = []
+        for arg in typing.get_args(annotation):
+            out.extend(_expandable_classes(arg))
+        return out
+    if origin in (list, List):
+        (arg,) = typing.get_args(annotation)
+        return _expandable_classes(arg)
+    if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
+        return [annotation]
+    return []
+
+
+def structure_of(cls, max_depth: int = 3) -> str:
+    """Render ``cls``'s element structure as an indented text tree.
+
+    Each dataclass expands once per path (recursion, as in Flow → Flow,
+    is marked ``…recursive``), and expansion stops at ``max_depth``.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise DGLValidationError(f"{cls!r} is not a DGL model class")
+    lines: List[str] = [cls.__name__]
+
+    def _expand(klass, prefix: str, seen: tuple, depth: int) -> None:
+        try:
+            hints = typing.get_type_hints(klass)
+        except Exception:
+            hints = {field.name: field.type
+                     for field in dataclasses.fields(klass)}
+        fields = dataclasses.fields(klass)
+        for index, field in enumerate(fields):
+            last = index == len(fields) - 1
+            connector = "└── " if last else "├── "
+            annotation = hints.get(field.name, field.type)
+            lines.append(f"{prefix}{connector}{field.name}: "
+                         f"{_type_label(annotation)}")
+            child_prefix = prefix + ("    " if last else "│   ")
+            if depth >= max_depth:
+                continue
+            for child_cls in _expandable_classes(annotation):
+                if child_cls in seen:
+                    lines.append(f"{child_prefix}({child_cls.__name__} …recursive)")
+                    continue
+                _expand(child_cls, child_prefix, seen + (child_cls,), depth + 1)
+
+    _expand(cls, "", (cls,), 1)
+    return "\n".join(lines)

@@ -1,0 +1,465 @@
+"""DGL XML serialization and parsing.
+
+DGL "is an XML-Schema specification" (§4); this module is the concrete
+wire format: :func:`to_xml` / :func:`from_xml` round-trip every request and
+response document through ``xml.etree.ElementTree``. Values keep their
+types via a ``type`` attribute, so a numeric variable survives the trip.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional, Union
+
+from repro.errors import DGLParseError
+from repro.dgl.model import (
+    Action,
+    DataGridRequest,
+    DataGridResponse,
+    DocumentMetadata,
+    ExecutionState,
+    Flow,
+    FlowLogic,
+    FlowStatus,
+    FlowStatusQuery,
+    ForEach,
+    Operation,
+    Parallel,
+    Repeat,
+    RequestAcknowledgement,
+    Sequential,
+    Step,
+    SwitchCase,
+    UserDefinedRule,
+    Variable,
+    WhileLoop,
+)
+
+__all__ = ["to_xml", "from_xml", "request_to_xml", "request_from_xml",
+           "response_to_xml", "response_from_xml"]
+
+
+# --------------------------------------------------------------------------
+# Typed values
+# --------------------------------------------------------------------------
+
+
+def _set_value(element: ET.Element, value) -> None:
+    if value is None:
+        element.set("type", "null")
+        element.set("value", "")
+    elif isinstance(value, bool):
+        raise DGLParseError("boolean values are not part of DGL's value model")
+    elif isinstance(value, int):
+        element.set("type", "int")
+        element.set("value", str(value))
+    elif isinstance(value, float):
+        element.set("type", "float")
+        element.set("value", repr(value))
+    else:
+        element.set("type", "str")
+        element.set("value", str(value))
+
+
+def _get_value(element: ET.Element):
+    kind = element.get("type", "str")
+    text = element.get("value", "")
+    if kind == "null":
+        return None
+    if kind == "int":
+        return int(text)
+    if kind == "float":
+        return float(text)
+    if kind == "str":
+        return text
+    raise DGLParseError(f"unknown value type {kind!r}")
+
+
+def _require(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise DGLParseError(
+            f"<{element.tag}> is missing required attribute {attribute!r}")
+    return value
+
+
+# --------------------------------------------------------------------------
+# Serialization
+# --------------------------------------------------------------------------
+
+
+def _metadata_element(metadata: DocumentMetadata) -> ET.Element:
+    element = ET.Element("documentMetadata")
+    if metadata.document_id is not None:
+        element.set("documentId", metadata.document_id)
+    if metadata.created_at is not None:
+        element.set("createdAt", repr(metadata.created_at))
+    if metadata.description is not None:
+        element.set("description", metadata.description)
+    return element
+
+
+def _operation_element(operation: Operation) -> ET.Element:
+    element = ET.Element("operation", name=operation.name)
+    if operation.assign_to is not None:
+        element.set("assignTo", operation.assign_to)
+    for name in sorted(operation.parameters):
+        parameter = ET.SubElement(element, "parameter", name=name)
+        _set_value(parameter, operation.parameters[name])
+    return element
+
+
+def _rule_element(rule: UserDefinedRule) -> ET.Element:
+    element = ET.Element("userDefinedRule", name=rule.name)
+    condition = ET.SubElement(element, "condition")
+    condition.text = rule.condition
+    for action in rule.actions:
+        action_el = ET.SubElement(element, "action", name=action.name)
+        action_el.append(_operation_element(action.operation))
+    return element
+
+
+def _variables_element(variables) -> Optional[ET.Element]:
+    if not variables:
+        return None
+    element = ET.Element("variables")
+    for variable in variables:
+        var_el = ET.SubElement(element, "variable", name=variable.name)
+        _set_value(var_el, variable.value)
+    return element
+
+
+def _pattern_element(pattern) -> ET.Element:
+    if isinstance(pattern, Sequential):
+        return ET.Element("sequential")
+    if isinstance(pattern, Parallel):
+        element = ET.Element("parallel")
+        if pattern.max_concurrent:
+            element.set("maxConcurrent", str(pattern.max_concurrent))
+        return element
+    if isinstance(pattern, WhileLoop):
+        return ET.Element("while", condition=pattern.condition)
+    if isinstance(pattern, Repeat):
+        return ET.Element("repeat", count=str(pattern.count))
+    if isinstance(pattern, ForEach):
+        element = ET.Element("forEach", itemVariable=pattern.item_variable)
+        if pattern.collection is not None:
+            element.set("collection", pattern.collection)
+        if pattern.query is not None:
+            element.set("query", pattern.query)
+        if pattern.items is not None:
+            element.set("items", pattern.items)
+        return element
+    if isinstance(pattern, SwitchCase):
+        element = ET.Element("switch", expression=pattern.expression)
+        if pattern.default is not None:
+            element.set("default", pattern.default)
+        return element
+    raise DGLParseError(f"unknown control pattern {type(pattern).__name__}")
+
+
+def _logic_element(logic: FlowLogic) -> ET.Element:
+    element = ET.Element("flowLogic")
+    element.append(_pattern_element(logic.pattern))
+    for rule in logic.rules:
+        element.append(_rule_element(rule))
+    return element
+
+
+def _step_element(step: Step) -> ET.Element:
+    element = ET.Element("step", name=step.name)
+    variables = _variables_element(step.variables)
+    if variables is not None:
+        element.append(variables)
+    if step.requirements:
+        req_root = ET.SubElement(element, "requirements")
+        for name in sorted(step.requirements):
+            requirement = ET.SubElement(req_root, "requirement", name=name)
+            _set_value(requirement, step.requirements[name])
+    element.append(_operation_element(step.operation))
+    for rule in step.rules:
+        element.append(_rule_element(rule))
+    return element
+
+
+def _flow_element(flow: Flow) -> ET.Element:
+    element = ET.Element("flow", name=flow.name)
+    variables = _variables_element(flow.variables)
+    if variables is not None:
+        element.append(variables)
+    element.append(_logic_element(flow.logic))
+    if flow.children:
+        children = ET.SubElement(element, "children")
+        for child in flow.children:
+            if isinstance(child, Flow):
+                children.append(_flow_element(child))
+            else:
+                children.append(_step_element(child))
+    return element
+
+
+def _status_element(status: FlowStatus) -> ET.Element:
+    element = ET.Element("flowStatus", name=status.name,
+                         state=status.state.value)
+    if status.started_at is not None:
+        element.set("startedAt", repr(status.started_at))
+    if status.finished_at is not None:
+        element.set("finishedAt", repr(status.finished_at))
+    if status.error is not None:
+        element.set("error", status.error)
+    if status.iterations:
+        element.set("iterations", str(status.iterations))
+    for child in status.children:
+        element.append(_status_element(child))
+    return element
+
+
+def request_to_xml(request: DataGridRequest) -> str:
+    """Serialize a request document to an XML string."""
+    root = ET.Element("dataGridRequest",
+                      asynchronous="true" if request.asynchronous else "false")
+    root.append(_metadata_element(request.metadata))
+    user = ET.SubElement(root, "gridUser")
+    user.text = request.user
+    vo = ET.SubElement(root, "virtualOrganization")
+    vo.text = request.virtual_organization
+    if isinstance(request.body, FlowStatusQuery):
+        query = ET.SubElement(root, "flowStatusQuery",
+                              requestId=request.body.request_id)
+        if request.body.path is not None:
+            query.set("path", request.body.path)
+    else:
+        root.append(_flow_element(request.body))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def response_to_xml(response: DataGridResponse) -> str:
+    """Serialize a response document to an XML string."""
+    root = ET.Element("dataGridResponse", requestId=response.request_id)
+    root.append(_metadata_element(response.metadata))
+    if isinstance(response.body, RequestAcknowledgement):
+        ack = ET.SubElement(root, "requestAcknowledgement",
+                            requestId=response.body.request_id,
+                            state=response.body.state.value,
+                            valid="true" if response.body.valid else "false")
+        if response.body.message is not None:
+            ack.set("message", response.body.message)
+    else:
+        root.append(_status_element(response.body))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def to_xml(document: Union[DataGridRequest, DataGridResponse]) -> str:
+    """Serialize either document kind."""
+    if isinstance(document, DataGridRequest):
+        return request_to_xml(document)
+    if isinstance(document, DataGridResponse):
+        return response_to_xml(document)
+    raise DGLParseError(f"cannot serialize {type(document).__name__}")
+
+
+# --------------------------------------------------------------------------
+# Parsing
+# --------------------------------------------------------------------------
+
+
+def _parse_metadata(element: Optional[ET.Element]) -> DocumentMetadata:
+    if element is None:
+        return DocumentMetadata()
+    created = element.get("createdAt")
+    return DocumentMetadata(
+        document_id=element.get("documentId"),
+        created_at=float(created) if created is not None else None,
+        description=element.get("description"))
+
+
+def _parse_operation(element: ET.Element) -> Operation:
+    parameters = {}
+    for parameter in element.findall("parameter"):
+        parameters[_require(parameter, "name")] = _get_value(parameter)
+    return Operation(name=_require(element, "name"), parameters=parameters,
+                     assign_to=element.get("assignTo"))
+
+
+def _parse_rule(element: ET.Element) -> UserDefinedRule:
+    condition = element.find("condition")
+    if condition is None or condition.text is None:
+        raise DGLParseError("userDefinedRule needs a <condition>")
+    actions = []
+    for action_el in element.findall("action"):
+        operation_el = action_el.find("operation")
+        if operation_el is None:
+            raise DGLParseError("rule action needs an <operation>")
+        actions.append(Action(name=_require(action_el, "name"),
+                              operation=_parse_operation(operation_el)))
+    return UserDefinedRule(name=_require(element, "name"),
+                           condition=condition.text, actions=actions)
+
+
+def _parse_variables(element: Optional[ET.Element]):
+    if element is None:
+        return []
+    return [Variable(name=_require(v, "name"), value=_get_value(v))
+            for v in element.findall("variable")]
+
+
+def _parse_pattern(element: ET.Element):
+    tag = element.tag
+    if tag == "sequential":
+        return Sequential()
+    if tag == "parallel":
+        return Parallel(max_concurrent=int(element.get("maxConcurrent", "0")))
+    if tag == "while":
+        return WhileLoop(condition=_require(element, "condition"))
+    if tag == "repeat":
+        count_text = _require(element, "count")
+        try:
+            count: Union[int, str] = int(count_text)
+        except ValueError:
+            count = count_text
+        return Repeat(count=count)
+    if tag == "forEach":
+        return ForEach(item_variable=_require(element, "itemVariable"),
+                       collection=element.get("collection"),
+                       query=element.get("query"),
+                       items=element.get("items"))
+    if tag == "switch":
+        return SwitchCase(expression=_require(element, "expression"),
+                          default=element.get("default"))
+    raise DGLParseError(f"unknown control pattern element <{tag}>")
+
+
+_PATTERN_TAGS = {"sequential", "parallel", "while", "repeat", "forEach", "switch"}
+
+
+def _parse_logic(element: Optional[ET.Element]) -> FlowLogic:
+    if element is None:
+        return FlowLogic()
+    pattern = None
+    rules = []
+    for child in element:
+        if child.tag in _PATTERN_TAGS:
+            if pattern is not None:
+                raise DGLParseError("flowLogic has more than one control pattern")
+            pattern = _parse_pattern(child)
+        elif child.tag == "userDefinedRule":
+            rules.append(_parse_rule(child))
+        else:
+            raise DGLParseError(f"unexpected element <{child.tag}> in flowLogic")
+    return FlowLogic(pattern=pattern or Sequential(), rules=rules)
+
+
+def _parse_step(element: ET.Element) -> Step:
+    operation_el = element.find("operation")
+    if operation_el is None:
+        raise DGLParseError(
+            f"step {element.get('name')!r} needs exactly one <operation>")
+    requirements = {}
+    req_root = element.find("requirements")
+    if req_root is not None:
+        for requirement in req_root.findall("requirement"):
+            requirements[_require(requirement, "name")] = _get_value(requirement)
+    return Step(name=_require(element, "name"),
+                operation=_parse_operation(operation_el),
+                variables=_parse_variables(element.find("variables")),
+                rules=[_parse_rule(r) for r in element.findall("userDefinedRule")],
+                requirements=requirements)
+
+
+def _parse_flow(element: ET.Element) -> Flow:
+    children = []
+    children_el = element.find("children")
+    if children_el is not None:
+        for child in children_el:
+            if child.tag == "flow":
+                children.append(_parse_flow(child))
+            elif child.tag == "step":
+                children.append(_parse_step(child))
+            else:
+                raise DGLParseError(f"unexpected element <{child.tag}> in children")
+    return Flow(name=_require(element, "name"),
+                logic=_parse_logic(element.find("flowLogic")),
+                variables=_parse_variables(element.find("variables")),
+                children=children)
+
+
+def _parse_status(element: ET.Element) -> FlowStatus:
+    started = element.get("startedAt")
+    finished = element.get("finishedAt")
+    return FlowStatus(
+        name=_require(element, "name"),
+        state=ExecutionState(_require(element, "state")),
+        started_at=float(started) if started is not None else None,
+        finished_at=float(finished) if finished is not None else None,
+        error=element.get("error"),
+        iterations=int(element.get("iterations", "0")),
+        children=[_parse_status(child) for child in element.findall("flowStatus")])
+
+
+def request_from_xml(text: str) -> DataGridRequest:
+    """Parse a request document from an XML string."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise DGLParseError(f"malformed XML: {exc}") from None
+    if root.tag != "dataGridRequest":
+        raise DGLParseError(f"expected <dataGridRequest>, got <{root.tag}>")
+    user_el = root.find("gridUser")
+    vo_el = root.find("virtualOrganization")
+    if user_el is None or not user_el.text:
+        raise DGLParseError("request needs a <gridUser>")
+    flow_el = root.find("flow")
+    query_el = root.find("flowStatusQuery")
+    if (flow_el is None) == (query_el is None):
+        raise DGLParseError(
+            "request needs exactly one of <flow> or <flowStatusQuery>")
+    if flow_el is not None:
+        body: Union[Flow, FlowStatusQuery] = _parse_flow(flow_el)
+    else:
+        body = FlowStatusQuery(request_id=_require(query_el, "requestId"),
+                               path=query_el.get("path"))
+    return DataGridRequest(
+        user=user_el.text,
+        virtual_organization=(vo_el.text or "") if vo_el is not None else "",
+        body=body,
+        metadata=_parse_metadata(root.find("documentMetadata")),
+        asynchronous=root.get("asynchronous", "false") == "true")
+
+
+def response_from_xml(text: str) -> DataGridResponse:
+    """Parse a response document from an XML string."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise DGLParseError(f"malformed XML: {exc}") from None
+    if root.tag != "dataGridResponse":
+        raise DGLParseError(f"expected <dataGridResponse>, got <{root.tag}>")
+    ack_el = root.find("requestAcknowledgement")
+    status_el = root.find("flowStatus")
+    if (ack_el is None) == (status_el is None):
+        raise DGLParseError(
+            "response needs exactly one of <requestAcknowledgement> or <flowStatus>")
+    if ack_el is not None:
+        body: Union[FlowStatus, RequestAcknowledgement] = RequestAcknowledgement(
+            request_id=_require(ack_el, "requestId"),
+            state=ExecutionState(_require(ack_el, "state")),
+            valid=ack_el.get("valid", "true") == "true",
+            message=ack_el.get("message"))
+    else:
+        body = _parse_status(status_el)
+    return DataGridResponse(
+        request_id=_require(root, "requestId"),
+        body=body,
+        metadata=_parse_metadata(root.find("documentMetadata")))
+
+
+def from_xml(text: str) -> Union[DataGridRequest, DataGridResponse]:
+    """Parse either document kind, dispatching on the root tag."""
+    stripped = text.lstrip()
+    if stripped.startswith("<dataGridRequest"):
+        return request_from_xml(text)
+    if stripped.startswith("<dataGridResponse"):
+        return response_from_xml(text)
+    raise DGLParseError("not a DGL document (unknown root element)")

@@ -1,0 +1,177 @@
+"""Exception hierarchy for the datagridflows reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Each subsystem owns a narrow branch of the hierarchy; modules
+raise the most specific class that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel
+# --------------------------------------------------------------------------
+
+
+class SimError(ReproError):
+    """Error inside the discrete-event simulation kernel."""
+
+
+class SimStopped(SimError):
+    """The simulation ran out of events (or was stopped) before a target time."""
+
+
+class Interrupt(SimError):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause``, available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# --------------------------------------------------------------------------
+# Storage / network substrates
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Error raised by a simulated physical storage resource."""
+
+
+class CapacityExceeded(StorageError):
+    """An allocation would exceed the storage resource's capacity."""
+
+
+class StorageFailure(StorageError):
+    """An injected (simulated) storage fault hit this operation."""
+
+
+class NetworkError(ReproError):
+    """Error raised by the simulated inter-domain network."""
+
+
+class NoRouteError(NetworkError):
+    """No path exists between the requested domains."""
+
+
+# --------------------------------------------------------------------------
+# Datagrid (DGMS)
+# --------------------------------------------------------------------------
+
+
+class GridError(ReproError):
+    """Error raised by the datagrid management system."""
+
+
+class NamespaceError(GridError):
+    """Invalid logical path, missing object, or name collision."""
+
+
+class PermissionDenied(GridError):
+    """The acting user lacks the required permission."""
+
+
+class ReplicaError(GridError):
+    """Replica bookkeeping error (e.g. removing the last replica)."""
+
+
+class LogicalResourceError(GridError):
+    """Unknown or misconfigured logical storage resource."""
+
+
+class MetadataError(GridError):
+    """Invalid user-defined metadata operation or query."""
+
+
+class FederationError(GridError):
+    """Error in cross-domain (federated) datagrid operations."""
+
+
+# --------------------------------------------------------------------------
+# DGL
+# --------------------------------------------------------------------------
+
+
+class DGLError(ReproError):
+    """Error in the Data Grid Language layer."""
+
+
+class DGLParseError(DGLError):
+    """A DGL XML document could not be parsed into the object model."""
+
+
+class DGLValidationError(DGLError):
+    """A DGL document violates the schema (structure or typing rules)."""
+
+
+class ExpressionError(DGLError):
+    """A DGL expression (tcondition / variable reference) failed to evaluate."""
+
+
+class UnknownOperationError(DGLError):
+    """A Step names an operation that is not in the operation registry."""
+
+
+# --------------------------------------------------------------------------
+# DfMS
+# --------------------------------------------------------------------------
+
+
+class DfMSError(ReproError):
+    """Error raised by the Datagridflow Management System."""
+
+
+class ExecutionError(DfMSError):
+    """A flow or step failed during execution."""
+
+
+class InvalidTransition(DfMSError):
+    """An execution-control request (pause/resume/...) is not legal now."""
+
+
+class UnknownRequestError(DfMSError):
+    """A status query referenced an identifier the server does not know."""
+
+
+class SchedulingError(DfMSError):
+    """The scheduler could not produce a feasible placement."""
+
+
+class MatchmakingError(SchedulingError):
+    """No resource satisfies a step's requirements / SLA."""
+
+
+class CheckpointError(DfMSError):
+    """Checkpoint serialization or recovery failed."""
+
+
+class P2PError(DfMSError):
+    """Peer-to-peer DfMS network error (lookup / forwarding)."""
+
+
+# --------------------------------------------------------------------------
+# ILM / triggers / provenance
+# --------------------------------------------------------------------------
+
+
+class ILMError(ReproError):
+    """Error in the information-lifecycle-management layer."""
+
+
+class PolicyError(ILMError):
+    """An ILM policy is malformed or cannot be applied."""
+
+
+class TriggerError(ReproError):
+    """Error registering or firing a datagrid trigger."""
+
+
+class ProvenanceError(ReproError):
+    """Error writing to or querying the provenance store."""

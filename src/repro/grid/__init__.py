@@ -1,0 +1,46 @@
+"""The datagrid management system (DGMS) substrate — an SRB-like datagrid.
+
+Logical namespace over distributed physical storage, shared collections,
+replicas, user-defined metadata and queries, domains, users/ACLs, logical
+resources, namespace events, and zone federation.
+"""
+
+from repro.grid.acl import AccessControlList, Permission
+from repro.grid.dgms import DataGridManagementSystem, OperationRecord
+from repro.grid.domains import AdministrativeDomain, DomainRegistry, DomainRole
+from repro.grid.events import EventBus, EventKind, EventPhase, NamespaceEvent
+from repro.grid.federation import Federation, split_zone_path
+from repro.grid.gfs import GridFileSystem, GridStat
+from repro.grid.metadata import AVU, MetadataSet, MetadataValue
+from repro.grid.namespace import (
+    Collection,
+    DataObject,
+    LogicalNamespace,
+    Replica,
+    ReplicaState,
+    basename,
+    join_path,
+    normalize_path,
+    parent_path,
+)
+from repro.grid.query import Condition, Op, Query, parse_conditions
+from repro.grid.resources import (
+    LogicalResource,
+    RegisteredResource,
+    ResourceRegistry,
+)
+from repro.grid.users import User, UserRegistry
+
+__all__ = [
+    "DataGridManagementSystem", "OperationRecord",
+    "LogicalNamespace", "Collection", "DataObject", "Replica", "ReplicaState",
+    "normalize_path", "parent_path", "basename", "join_path",
+    "MetadataSet", "AVU", "MetadataValue",
+    "Query", "Condition", "Op", "parse_conditions",
+    "LogicalResource", "RegisteredResource", "ResourceRegistry",
+    "AdministrativeDomain", "DomainRegistry", "DomainRole",
+    "User", "UserRegistry", "AccessControlList", "Permission",
+    "EventBus", "EventKind", "EventPhase", "NamespaceEvent",
+    "Federation", "split_zone_path",
+    "GridFileSystem", "GridStat",
+]

@@ -1,0 +1,79 @@
+"""Administrative domains.
+
+A datagrid federates "heterogeneous resources from autonomous administrative
+domains" (§1). Each domain keeps autonomy: it owns physical resources,
+decides what it shares, and plays a *role* in the grid — §2.1's archiver
+("imploding star"), producer ("exploding star"), curator, or plain
+participant. ILM policies key on these roles.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Set
+
+from repro.errors import GridError
+
+__all__ = ["DomainRole", "AdministrativeDomain", "DomainRegistry"]
+
+
+class DomainRole(enum.Enum):
+    """The part a domain plays in grid-wide information lifecycles."""
+
+    PARTICIPANT = "participant"
+    PRODUCER = "producer"    # creates data; the exploding star's center
+    ARCHIVER = "archiver"    # pulls everything in; the imploding star
+    CURATOR = "curator"      # digital-library style custodianship
+
+
+class AdministrativeDomain:
+    """One autonomous organization participating in the datagrid."""
+
+    def __init__(self, name: str, role: DomainRole = DomainRole.PARTICIPANT) -> None:
+        if not name:
+            raise GridError("domain name cannot be empty")
+        self.name = name
+        self.role = role
+        self.resource_names: Set[str] = set()
+        self.user_names: Set[str] = set()
+
+    def __repr__(self) -> str:
+        return f"<Domain {self.name} ({self.role.value})>"
+
+
+class DomainRegistry:
+    """All domains in one datagrid."""
+
+    def __init__(self) -> None:
+        self._domains: Dict[str, AdministrativeDomain] = {}
+
+    def register(self, name: str,
+                 role: DomainRole = DomainRole.PARTICIPANT) -> AdministrativeDomain:
+        """Add a domain with its grid role (names are unique)."""
+        if name in self._domains:
+            raise GridError(f"domain {name!r} already registered")
+        domain = AdministrativeDomain(name, role)
+        self._domains[name] = domain
+        return domain
+
+    def get(self, name: str) -> AdministrativeDomain:
+        """The domain called ``name`` (raises if unknown)."""
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise GridError(f"unknown domain {name!r}") from None
+
+    def with_role(self, role: DomainRole) -> List[AdministrativeDomain]:
+        """All domains playing ``role``, name-sorted."""
+        return sorted((d for d in self._domains.values() if d.role is role),
+                      key=lambda d: d.name)
+
+    def names(self) -> List[str]:
+        """Registered domain names, sorted."""
+        return sorted(self._domains)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def __len__(self) -> int:
+        return len(self._domains)

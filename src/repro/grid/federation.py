@@ -1,0 +1,92 @@
+"""Federation of multiple datagrids (zones).
+
+A single :class:`~repro.grid.dgms.DataGridManagementSystem` already spans
+many administrative domains; *federation* goes one level up and joins
+several independently-operated datagrids so users can address data in a
+peer grid with ``zone:/path`` names and pull copies across grid boundaries.
+This mirrors SRB zone federation, which the BBSRC/CCLRC deployment (§2.1)
+relied on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FederationError
+from repro.grid.dgms import DataGridManagementSystem
+from repro.grid.users import User
+from repro.sim.kernel import Environment, Process
+
+__all__ = ["Federation", "split_zone_path"]
+
+
+def split_zone_path(name: str) -> Tuple[Optional[str], str]:
+    """Split ``zone:/path`` into (zone, path); zone is None for plain paths."""
+    if ":" in name and not name.startswith("/"):
+        zone, _, path = name.partition(":")
+        if not path.startswith("/"):
+            raise FederationError(f"malformed zone path {name!r}")
+        return zone, path
+    return None, name
+
+
+class Federation:
+    """A set of named zones (datagrids) that trust each other."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._zones: Dict[str, DataGridManagementSystem] = {}
+
+    def add_zone(self, zone_name: str, dgms: DataGridManagementSystem) -> None:
+        """Join ``dgms`` to the federation as ``zone_name``."""
+        if zone_name in self._zones:
+            raise FederationError(f"zone {zone_name!r} already federated")
+        self._zones[zone_name] = dgms
+
+    def zone(self, zone_name: str) -> DataGridManagementSystem:
+        """The datagrid federated as ``zone_name`` (raises if unknown)."""
+        try:
+            return self._zones[zone_name]
+        except KeyError:
+            raise FederationError(f"unknown zone {zone_name!r}") from None
+
+    def zones(self) -> List[str]:
+        """Federated zone names, sorted."""
+        return sorted(self._zones)
+
+    def resolve(self, default_zone: str, name: str):
+        """Resolve ``zone:/path`` (or a plain path in ``default_zone``)."""
+        zone_name, path = split_zone_path(name)
+        dgms = self.zone(zone_name or default_zone)
+        return dgms, dgms.namespace.resolve(path)
+
+    def cross_zone_copy(self, user: User, src_zone: str, src_path: str,
+                        dst_zone: str, dst_path: str,
+                        dst_logical_resource: str,
+                        bridge_bandwidth_bps: float = 10 * 1024 * 1024,
+                        bridge_latency_s: float = 0.2) -> Process:
+        """Copy an object from one zone into another.
+
+        The zones have independent namespaces and networks, so the copy is
+        read-out + inter-grid hop + put-in. The inter-grid hop is modeled as
+        a fixed-capacity bridge (zones do not share a topology object).
+        """
+        return self.env.process(self._cross_zone_copy(
+            user, src_zone, src_path, dst_zone, dst_path,
+            dst_logical_resource, bridge_bandwidth_bps, bridge_latency_s))
+
+    def _cross_zone_copy(self, user, src_zone, src_path, dst_zone, dst_path,
+                         dst_logical_resource, bandwidth, latency):
+        source = self.zone(src_zone)
+        target = self.zone(dst_zone)
+        obj = source.namespace.resolve_object(src_path)
+        # Read at the source zone (to the replica's own domain: no WAN hop
+        # inside the source grid; the bridge below charges the WAN cost).
+        replica = source.select_replica(obj, to_domain=obj.good_replicas()[0].domain)
+        yield source.get(user, src_path, to_domain=replica.domain)
+        yield self.env.timeout(latency + obj.size / bandwidth)
+        copied = yield target.put(
+            user, dst_path, obj.size, dst_logical_resource,
+            metadata=dict(obj.metadata.items()))
+        copied.metadata.set("federation:source", f"{src_zone}:{src_path}")
+        return copied

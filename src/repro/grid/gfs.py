@@ -1,0 +1,164 @@
+"""A Grid File System (GFS) facade over the datagrid.
+
+§3.1 anticipates "business use cases … once business users start using
+datagrids and the Grid File System (GFS)", citing the GGF Grid File
+System working group the first author chaired. This module is that
+filesystem-shaped veneer: familiar mkdir/listdir/stat/rename/remove and
+extended-attribute calls mapped onto the DGMS's logical namespace, so
+code written against a file-system mental model runs on the grid without
+knowing about replicas, domains, or logical resources.
+
+Timed calls (:meth:`write_file`, :meth:`read_file`, :meth:`remove`) return
+simulation processes to yield on, exactly like the DGMS itself; metadata
+calls are instant.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import NamespaceError
+from repro.grid.dgms import DataGridManagementSystem
+from repro.grid.namespace import Collection, DataObject
+from repro.grid.users import User
+
+__all__ = ["GridStat", "GridFileSystem"]
+
+
+@dataclass(frozen=True)
+class GridStat:
+    """stat()-like record for one namespace entry."""
+
+    path: str
+    is_dir: bool
+    size: float
+    created_at: float
+    modified_at: float
+    owner: Optional[str]
+    replica_count: int
+    checksum: Optional[str]
+
+
+class GridFileSystem:
+    """Filesystem-flavoured access to one datagrid, as one user.
+
+    ``default_resource`` is where new files land; ``home_domain`` is where
+    reads are delivered (both default to the user's own domain).
+    """
+
+    def __init__(self, dgms: DataGridManagementSystem, user: User,
+                 default_resource: str,
+                 home_domain: Optional[str] = None) -> None:
+        self.dgms = dgms
+        self.user = user
+        self.default_resource = default_resource
+        self.home_domain = home_domain or user.domain
+
+    # -- directories ------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> None:
+        """Create a directory (collection)."""
+        self.dgms.create_collection(self.user, path, parents=parents)
+
+    def listdir(self, path: str) -> List[str]:
+        """Child names in a directory, directories first, name-sorted."""
+        return [node.name
+                for node in self.dgms.list_collection(self.user, path)]
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        node = self.dgms.namespace.resolve_collection(path)
+        from repro.grid.acl import Permission
+        node.acl.require(self.user, Permission.OWN, path)
+        self.dgms.namespace.remove(path)
+
+    # -- files ------------------------------------------------------------
+
+    def write_file(self, path: str, size: float,
+                   resource: Optional[str] = None):
+        """Create a file of ``size`` bytes (timed; yields on the process)."""
+        return self.dgms.put(self.user, path, size,
+                             resource or self.default_resource)
+
+    def read_file(self, path: str, to_domain: Optional[str] = None):
+        """Read a file's bytes to ``to_domain`` (timed)."""
+        return self.dgms.get(self.user, path,
+                             to_domain or self.home_domain)
+
+    def remove(self, path: str):
+        """Delete a file and all its replicas (timed)."""
+        return self.dgms.delete(self.user, path)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename/move (logical; replicas untouched)."""
+        self.dgms.move(self.user, src, dst)
+
+    # -- inspection ------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` resolves to anything."""
+        return self.dgms.namespace.exists(path)
+
+    def isdir(self, path: str) -> bool:
+        """True if ``path`` is a directory (collection)."""
+        try:
+            return isinstance(self.dgms.namespace.resolve(path), Collection)
+        except NamespaceError:
+            return False
+
+    def isfile(self, path: str) -> bool:
+        """True if ``path`` is a file (data object)."""
+        try:
+            return isinstance(self.dgms.namespace.resolve(path), DataObject)
+        except NamespaceError:
+            return False
+
+    def stat(self, path: str) -> GridStat:
+        """stat() one entry (requires READ)."""
+        node = self.dgms.stat(self.user, path)
+        if isinstance(node, DataObject):
+            return GridStat(
+                path=node.path, is_dir=False, size=node.size,
+                created_at=node.created_at, modified_at=node.modified_at,
+                owner=node.owner.qualified_name if node.owner else None,
+                replica_count=len(node.good_replicas()),
+                checksum=node.checksum)
+        return GridStat(
+            path=node.path, is_dir=True, size=0.0,
+            created_at=node.created_at, modified_at=node.modified_at,
+            owner=node.owner.qualified_name if node.owner else None,
+            replica_count=0, checksum=None)
+
+    def glob(self, directory: str, pattern: str,
+             recursive: bool = False) -> List[str]:
+        """File paths under ``directory`` whose *names* match ``pattern``."""
+        if recursive:
+            candidates = self.dgms.namespace.iter_objects(directory)
+        else:
+            candidates = (node for node in
+                          self.dgms.list_collection(self.user, directory)
+                          if isinstance(node, DataObject))
+        from repro.grid.acl import Permission
+        return sorted(
+            node.path for node in candidates
+            if fnmatch.fnmatchcase(node.name, pattern)
+            and node.acl.allows(self.user, Permission.READ))
+
+    # -- extended attributes ---------------------------------------------------
+
+    def setxattr(self, path: str, attribute: str, value,
+                 unit: Optional[str] = None) -> None:
+        """Set an extended attribute (user-defined metadata)."""
+        self.dgms.set_metadata(self.user, path, attribute, value, unit)
+
+    def getxattr(self, path: str, attribute: str, default=None):
+        """Read an extended attribute (requires READ)."""
+        node = self.dgms.stat(self.user, path)
+        return node.metadata.get(attribute, default)
+
+    def listxattr(self, path: str) -> List[str]:
+        """Names of all extended attributes on an entry."""
+        node = self.dgms.stat(self.user, path)
+        return sorted(attribute for attribute, _ in node.metadata.items())

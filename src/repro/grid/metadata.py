@@ -1,0 +1,80 @@
+"""User-defined metadata (attribute–value–unit triples).
+
+"Datagrids allow user-defined metadata to be associated with data. Triggers
+could make use of these parameters." (§2.2). Metadata is the hook ILM
+policies and triggers key on, and the datagrid query language in
+:mod:`repro.grid.query` filters on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import MetadataError
+
+__all__ = ["MetadataValue", "AVU", "MetadataSet"]
+
+#: Metadata values are strings or numbers (SRB AVUs are strings; numbers are
+#: kept native so range queries compare numerically).
+MetadataValue = Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class AVU:
+    """One attribute–value–unit triple."""
+
+    attribute: str
+    value: MetadataValue
+    unit: Optional[str] = None
+
+
+class MetadataSet:
+    """The metadata attached to one namespace node (one value per attribute)."""
+
+    def __init__(self) -> None:
+        self._avus: Dict[str, AVU] = {}
+
+    def set(self, attribute: str, value: MetadataValue,
+            unit: Optional[str] = None) -> None:
+        """Add or replace an attribute."""
+        if not attribute:
+            raise MetadataError("attribute name cannot be empty")
+        if not isinstance(value, (str, int, float)) or isinstance(value, bool):
+            raise MetadataError(
+                f"metadata value must be str or number, got {type(value).__name__}")
+        self._avus[attribute] = AVU(attribute, value, unit)
+
+    def get(self, attribute: str, default: Optional[MetadataValue] = None
+            ) -> Optional[MetadataValue]:
+        """Value of ``attribute``, or ``default``."""
+        avu = self._avus.get(attribute)
+        return default if avu is None else avu.value
+
+    def unit(self, attribute: str) -> Optional[str]:
+        """Unit of ``attribute`` (None if unset or absent)."""
+        avu = self._avus.get(attribute)
+        return None if avu is None else avu.unit
+
+    def remove(self, attribute: str) -> None:
+        """Delete an attribute (idempotent)."""
+        self._avus.pop(attribute, None)
+
+    def items(self) -> Iterator[Tuple[str, MetadataValue]]:
+        """Iterate (attribute, value) pairs."""
+        return ((a.attribute, a.value) for a in self._avus.values())
+
+    def as_dict(self) -> Dict[str, MetadataValue]:
+        """Attribute → value snapshot."""
+        return {a.attribute: a.value for a in self._avus.values()}
+
+    def copy_from(self, other: "MetadataSet") -> None:
+        """Merge all of ``other``'s AVUs into this set (overwriting)."""
+        for avu in other._avus.values():
+            self._avus[avu.attribute] = avu
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._avus
+
+    def __len__(self) -> int:
+        return len(self._avus)

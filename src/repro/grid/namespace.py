@@ -1,0 +1,345 @@
+"""The logical namespace: shared collections, data objects, replicas.
+
+This is the core of data virtualization (§1): "a logical aggregation of
+digital entities, e.g. files, which are physically distributed in multiple
+physical storage resources that are owned by multiple administrative
+domains". Names here are logical; a data object's bytes live in one or more
+:class:`Replica` records pointing at physical resources, and renaming or
+migrating never changes the logical identity.
+
+Paths are Unix-style (``/home/projects/scec/file.dat``). Nodes carry an ACL
+and user-defined metadata.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import NamespaceError, ReplicaError
+from repro.grid.acl import AccessControlList, Permission
+from repro.grid.metadata import MetadataSet
+from repro.grid.users import User
+
+__all__ = [
+    "normalize_path", "parent_path", "basename", "join_path",
+    "ReplicaState", "Replica", "DataObject", "Collection", "LogicalNamespace",
+]
+
+
+# --------------------------------------------------------------------------
+# Path helpers
+# --------------------------------------------------------------------------
+
+
+def normalize_path(path: str) -> str:
+    """Canonicalize a logical path (absolute, no trailing slash, no empties)."""
+    if not path or not path.startswith("/"):
+        raise NamespaceError(f"logical paths must be absolute, got {path!r}")
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if part in (".", ".."):
+            raise NamespaceError(f"relative components not allowed: {path!r}")
+    return "/" + "/".join(parts)
+
+
+def parent_path(path: str) -> str:
+    """Parent of a normalized path ('/' is its own parent)."""
+    path = normalize_path(path)
+    if path == "/":
+        return "/"
+    head, _, _ = path.rpartition("/")
+    return head or "/"
+
+
+def basename(path: str) -> str:
+    """Final component of a normalized path ('' for the root)."""
+    path = normalize_path(path)
+    return path.rpartition("/")[2]
+
+
+def join_path(parent: str, name: str) -> str:
+    """Join a collection path and a child name."""
+    if "/" in name:
+        raise NamespaceError(f"child name cannot contain '/': {name!r}")
+    parent = normalize_path(parent)
+    return parent + name if parent == "/" else f"{parent}/{name}"
+
+
+# --------------------------------------------------------------------------
+# Nodes
+# --------------------------------------------------------------------------
+
+
+class ReplicaState(enum.Enum):
+    """Lifecycle state of one physical copy."""
+
+    GOOD = "good"
+    STALE = "stale"   # logically superseded, awaiting cleanup
+
+
+class Replica:
+    """One physical copy of a data object.
+
+    ``allocation_id`` is the key under which bytes are accounted on the
+    physical resource; it embeds the object's immutable GUID so logical
+    renames never touch physical state.
+    """
+
+    _counter = itertools.count(1)
+
+    def __init__(self, object_guid: str, logical_resource: str, domain: str,
+                 physical_name: str, created_at: float) -> None:
+        self.replica_number = next(Replica._counter)
+        self.object_guid = object_guid
+        self.logical_resource = logical_resource
+        self.domain = domain
+        self.physical_name = physical_name
+        self.created_at = created_at
+        self.state = ReplicaState.GOOD
+
+    @property
+    def allocation_id(self) -> str:
+        return f"{self.object_guid}#{self.replica_number}"
+
+    def __repr__(self) -> str:
+        return (f"<Replica #{self.replica_number} of {self.object_guid} on "
+                f"{self.physical_name}@{self.domain} ({self.state.value})>")
+
+
+class _Node:
+    """Common state for collections and data objects."""
+
+    def __init__(self, name: str, owner: Optional[User], created_at: float) -> None:
+        self.name = name
+        self.owner = owner
+        self.created_at = created_at
+        self.modified_at = created_at
+        self.acl = AccessControlList(owner)
+        self.metadata = MetadataSet()
+        self.parent: Optional["Collection"] = None
+
+    @property
+    def path(self) -> str:
+        """Full logical path, derived from the parent chain."""
+        if self.parent is None:
+            return "/"
+        return join_path(self.parent.path, self.name)
+
+
+class DataObject(_Node):
+    """A logical file: a name plus size, checksum, metadata, and replicas."""
+
+    _guid_counter = itertools.count(1)
+
+    def __init__(self, name: str, size: float, owner: Optional[User],
+                 created_at: float) -> None:
+        super().__init__(name, owner, created_at)
+        if size < 0:
+            raise NamespaceError(f"object size cannot be negative: {size}")
+        self.size = float(size)
+        self.guid = f"guid-{next(DataObject._guid_counter):08d}"
+        self.checksum: Optional[str] = None
+        self.replicas: List[Replica] = []
+        self.version = 1
+
+    def good_replicas(self) -> List[Replica]:
+        """Replicas in GOOD state."""
+        return [r for r in self.replicas if r.state is ReplicaState.GOOD]
+
+    def replica_on(self, physical_name: str) -> Optional[Replica]:
+        """The replica hosted on ``physical_name``, if any."""
+        for replica in self.replicas:
+            if replica.physical_name == physical_name:
+                return replica
+        return None
+
+    def add_replica(self, replica: Replica) -> None:
+        """Attach a replica (one per physical resource)."""
+        if self.replica_on(replica.physical_name) is not None:
+            raise ReplicaError(
+                f"{self.path} already has a replica on {replica.physical_name}")
+        self.replicas.append(replica)
+
+    def remove_replica(self, replica: Replica) -> None:
+        """Detach a replica (raises if it is not ours)."""
+        try:
+            self.replicas.remove(replica)
+        except ValueError:
+            raise ReplicaError(f"{replica!r} is not a replica of {self.path}") from None
+
+    def __repr__(self) -> str:
+        return f"<DataObject {self.path} {self.size:.0f} B x{len(self.replicas)} replicas>"
+
+
+class Collection(_Node):
+    """A logical directory: shared, hierarchical, spanning domains."""
+
+    def __init__(self, name: str, owner: Optional[User], created_at: float) -> None:
+        super().__init__(name, owner, created_at)
+        self._children: Dict[str, _Node] = {}
+
+    def child(self, name: str) -> Optional[_Node]:
+        """The direct child named ``name``, or None."""
+        return self._children.get(name)
+
+    def children(self) -> List[_Node]:
+        """Direct children, collections first, each group name-sorted."""
+        nodes = list(self._children.values())
+        nodes.sort(key=lambda n: (not isinstance(n, Collection), n.name))
+        return nodes
+
+    def attach(self, node: _Node) -> None:
+        """Add ``node`` as a child (rejects name collisions)."""
+        if node.name in self._children:
+            raise NamespaceError(
+                f"{join_path(self.path, node.name)} already exists")
+        self._children[node.name] = node
+        node.parent = self
+
+    def detach(self, node: _Node) -> None:
+        """Remove a direct child, clearing its parent link."""
+        if self._children.get(node.name) is not node:
+            raise NamespaceError(f"{node.name!r} is not a child of {self.path}")
+        del self._children[node.name]
+        node.parent = None
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __repr__(self) -> str:
+        return f"<Collection {self.path} ({len(self)} children)>"
+
+
+# --------------------------------------------------------------------------
+# The namespace
+# --------------------------------------------------------------------------
+
+
+class LogicalNamespace:
+    """The datagrid's single logical tree of collections and data objects."""
+
+    def __init__(self) -> None:
+        self.root = Collection(name="", owner=None, created_at=0.0)
+        # Bootstrap convention: the root is world-writable so domains can
+        # create their top-level collections; they then lock down their own.
+        self.root.acl.grant("*", Permission.WRITE)
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, path: str) -> _Node:
+        """Return the node at ``path`` or raise :class:`NamespaceError`."""
+        path = normalize_path(path)
+        node: _Node = self.root
+        if path == "/":
+            return node
+        for part in path[1:].split("/"):
+            if not isinstance(node, Collection):
+                raise NamespaceError(f"{node.path} is not a collection")
+            child = node.child(part)
+            if child is None:
+                raise NamespaceError(f"no such path: {path!r}")
+            node = child
+        return node
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` resolves."""
+        try:
+            self.resolve(path)
+            return True
+        except NamespaceError:
+            return False
+
+    def resolve_collection(self, path: str) -> Collection:
+        """Resolve, insisting on a collection."""
+        node = self.resolve(path)
+        if not isinstance(node, Collection):
+            raise NamespaceError(f"{path!r} is a data object, not a collection")
+        return node
+
+    def resolve_object(self, path: str) -> DataObject:
+        """Resolve, insisting on a data object."""
+        node = self.resolve(path)
+        if not isinstance(node, DataObject):
+            raise NamespaceError(f"{path!r} is a collection, not a data object")
+        return node
+
+    # -- mutation -----------------------------------------------------------
+
+    def create_collection(self, path: str, owner: Optional[User],
+                          created_at: float, parents: bool = False) -> Collection:
+        """Create a collection (optionally creating missing ancestors)."""
+        path = normalize_path(path)
+        if path == "/":
+            raise NamespaceError("the root collection always exists")
+        if self.exists(path):
+            raise NamespaceError(f"{path!r} already exists")
+        parent_str = parent_path(path)
+        if not self.exists(parent_str):
+            if not parents:
+                raise NamespaceError(f"parent {parent_str!r} does not exist")
+            self.create_collection(parent_str, owner, created_at, parents=True)
+        parent = self.resolve_collection(parent_str)
+        collection = Collection(basename(path), owner, created_at)
+        parent.attach(collection)
+        return collection
+
+    def create_object(self, path: str, size: float, owner: Optional[User],
+                      created_at: float) -> DataObject:
+        """Register a new data object at ``path`` (no replicas yet)."""
+        path = normalize_path(path)
+        parent = self.resolve_collection(parent_path(path))
+        obj = DataObject(basename(path), size, owner, created_at)
+        parent.attach(obj)
+        return obj
+
+    def remove(self, path: str) -> _Node:
+        """Detach and return the node at ``path`` (collections must be empty)."""
+        node = self.resolve(path)
+        if node is self.root:
+            raise NamespaceError("cannot remove the root collection")
+        if isinstance(node, Collection) and len(node) > 0:
+            raise NamespaceError(f"collection {path!r} is not empty")
+        node.parent.detach(node)
+        return node
+
+    def move(self, src: str, dst: str) -> _Node:
+        """Rename/move a node. Purely logical — replicas are untouched."""
+        node = self.resolve(src)
+        if node is self.root:
+            raise NamespaceError("cannot move the root collection")
+        dst = normalize_path(dst)
+        if self.exists(dst):
+            raise NamespaceError(f"destination {dst!r} already exists")
+        new_parent = self.resolve_collection(parent_path(dst))
+        # Refuse to move a collection under itself.
+        probe: Optional[_Node] = new_parent
+        while probe is not None:
+            if probe is node:
+                raise NamespaceError(f"cannot move {src!r} under itself")
+            probe = probe.parent
+        node.parent.detach(node)
+        node.name = basename(dst)
+        new_parent.attach(node)
+        return node
+
+    # -- traversal ----------------------------------------------------------
+
+    def walk(self, path: str = "/") -> Iterator[Tuple[Collection, List[Collection], List[DataObject]]]:
+        """Depth-first traversal, os.walk-style."""
+        start = self.resolve_collection(path)
+        stack = [start]
+        while stack:
+            collection = stack.pop()
+            subcollections = [c for c in collection.children()
+                              if isinstance(c, Collection)]
+            objects = [o for o in collection.children()
+                       if isinstance(o, DataObject)]
+            yield collection, subcollections, objects
+            stack.extend(reversed(subcollections))
+
+    def iter_objects(self, path: str = "/") -> Iterator[DataObject]:
+        """All data objects under ``path`` (recursive)."""
+        for _, _, objects in self.walk(path):
+            yield from objects

@@ -1,0 +1,198 @@
+"""The datagrid query language.
+
+DGL execution logic iterates "some set of tasks over collections of files.
+The files are used as input data and processed according to a datagrid
+query, which could be part of the execution logic itself" (§2.3). This
+module defines that query language: conjunctive conditions over a data
+object's name, path, size, checksum, and user-defined metadata, evaluated
+against a collection subtree.
+
+Queries have both an object form (:class:`Query`) and a compact text form
+used inside DGL documents, e.g.::
+
+    name like '*.dat' AND size > 1048576 AND meta:stage = 'raw'
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.errors import MetadataError
+from repro.grid.namespace import DataObject, LogicalNamespace
+
+__all__ = ["Op", "Condition", "Query", "parse_conditions"]
+
+
+class Op(enum.Enum):
+    """Comparison operators."""
+
+    EQ = "="
+    NE = "!="
+    GT = ">"
+    GE = ">="
+    LT = "<"
+    LE = "<="
+    LIKE = "like"          # glob-style pattern on the string form
+    CONTAINS = "contains"  # substring on the string form
+    EXISTS = "exists"      # the field has a value at all
+
+
+#: Fields addressable without the ``meta:`` prefix.
+_BUILTIN_FIELDS = {"name", "path", "size", "checksum", "guid"}
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One conjunct: ``field op value``.
+
+    ``field`` is a builtin (name, path, size, checksum, guid) or
+    ``meta:<attribute>`` for user-defined metadata.
+    """
+
+    field: str
+    op: Op
+    value: Union[str, int, float, None] = None
+
+    def __post_init__(self) -> None:
+        if not (self.field in _BUILTIN_FIELDS or self.field.startswith("meta:")):
+            raise MetadataError(
+                f"unknown query field {self.field!r} "
+                f"(builtins: {sorted(_BUILTIN_FIELDS)}, or meta:<attr>)")
+        if self.op is not Op.EXISTS and self.value is None:
+            raise MetadataError(f"operator {self.op.value!r} needs a value")
+
+    def _extract(self, obj: DataObject):
+        if self.field == "name":
+            return obj.name
+        if self.field == "path":
+            return obj.path
+        if self.field == "size":
+            return obj.size
+        if self.field == "checksum":
+            return obj.checksum
+        if self.field == "guid":
+            return obj.guid
+        attribute = self.field[len("meta:"):]
+        return obj.metadata.get(attribute)
+
+    def matches(self, obj: DataObject) -> bool:
+        """Evaluate this condition against one data object."""
+        actual = self._extract(obj)
+        if self.op is Op.EXISTS:
+            return actual is not None
+        if actual is None:
+            return False
+        if self.op is Op.LIKE:
+            return fnmatch.fnmatchcase(str(actual), str(self.value))
+        if self.op is Op.CONTAINS:
+            return str(self.value) in str(actual)
+        expected = self.value
+        # Numeric comparison when both sides are numeric; string otherwise.
+        if isinstance(actual, (int, float)) and isinstance(expected, (int, float)):
+            left, right = float(actual), float(expected)
+        else:
+            left, right = str(actual), str(expected)
+        if self.op is Op.EQ:
+            return left == right
+        if self.op is Op.NE:
+            return left != right
+        if self.op is Op.GT:
+            return left > right
+        if self.op is Op.GE:
+            return left >= right
+        if self.op is Op.LT:
+            return left < right
+        if self.op is Op.LE:
+            return left <= right
+        raise MetadataError(f"unhandled operator {self.op!r}")
+
+
+@dataclass
+class Query:
+    """A conjunctive query over a collection subtree."""
+
+    collection: str = "/"
+    conditions: List[Condition] = field(default_factory=list)
+    recursive: bool = True
+    limit: Optional[int] = None
+
+    def matches(self, obj: DataObject) -> bool:
+        """True if every condition holds."""
+        return all(condition.matches(obj) for condition in self.conditions)
+
+    def run(self, namespace: LogicalNamespace) -> List[DataObject]:
+        """Evaluate against ``namespace``, in deterministic path order."""
+        if self.recursive:
+            candidates = namespace.iter_objects(self.collection)
+        else:
+            parent = namespace.resolve_collection(self.collection)
+            candidates = (c for c in parent.children()
+                          if isinstance(c, DataObject))
+        results = [obj for obj in candidates if self.matches(obj)]
+        results.sort(key=lambda o: o.path)
+        if self.limit is not None:
+            results = results[: self.limit]
+        return results
+
+
+# --------------------------------------------------------------------------
+# Text form
+# --------------------------------------------------------------------------
+
+_CLAUSE_RE = re.compile(
+    r"""^\s*(?P<field>[A-Za-z_][\w:.-]*)\s*
+        (?P<op>!=|>=|<=|=|>|<|\blike\b|\bcontains\b|\bexists\b)\s*
+        (?P<value>.*?)\s*$""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+def _parse_value(text: str) -> Union[str, int, float]:
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_conditions(text: str) -> List[Condition]:
+    """Parse the compact text form: clauses joined with ``AND``.
+
+    >>> parse_conditions("size > 100 AND meta:stage = 'raw'")
+    ... # doctest: +ELLIPSIS
+    [Condition(...), Condition(...)]
+    """
+    conditions: List[Condition] = []
+    if not text or not text.strip():
+        return conditions
+    for clause in re.split(r"\bAND\b", text, flags=re.IGNORECASE):
+        clause = clause.strip()
+        if not clause:
+            raise MetadataError(f"empty clause in query {text!r}")
+        match = _CLAUSE_RE.match(clause)
+        if match is None:
+            raise MetadataError(f"cannot parse query clause {clause!r}")
+        op_text = match.group("op").lower()
+        op = Op(op_text) if op_text in ("=", "!=", ">", ">=", "<", "<=") else Op[op_text.upper()]
+        value_text = match.group("value")
+        if op is Op.EXISTS:
+            if value_text:
+                raise MetadataError(f"'exists' takes no value: {clause!r}")
+            value = None
+        else:
+            if not value_text:
+                raise MetadataError(f"operator {op.value!r} needs a value: {clause!r}")
+            value = _parse_value(value_text)
+        conditions.append(Condition(match.group("field"), op, value))
+    return conditions

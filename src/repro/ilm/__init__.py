@@ -1,0 +1,17 @@
+"""Datagrid information lifecycle management (§2.1).
+
+Domain-value model, declarative placement/retention policies compiled to
+DGL, execution windows, the ILM manager, and the imploding/exploding star
+patterns.
+"""
+
+from repro.ilm.engine import ILMManager, PassRecord
+from repro.ilm.patterns import exploding_star_flow, imploding_star_policy
+from repro.ilm.policy import ACTIONS, ILMPolicy, PlacementRule
+from repro.ilm.value import DomainValueModel
+
+__all__ = [
+    "DomainValueModel", "ILMPolicy", "PlacementRule", "ACTIONS",
+    "ILMManager", "PassRecord",
+    "imploding_star_policy", "exploding_star_flow",
+]

@@ -1,0 +1,110 @@
+"""ILM policies: declarative rules compiled to DGL flows.
+
+A policy says, for one collection and one domain's point of view: *when an
+object looks like this, move it there*. Rules are ordered; the first whose
+condition holds is applied. Conditions are DGL expressions over:
+
+* ``value`` — the object's domain value (see :mod:`repro.ilm.value`);
+* ``age_days`` — days since last modification;
+* ``size`` — bytes;
+* ``replica_count`` — good replicas right now;
+* ``meta`` — the object's metadata dict;
+* ``last_action`` — the rule this policy last applied to the object.
+
+Actions: ``replicate_to`` / ``migrate_to`` / ``trim_to_target`` (drop every
+replica except on the target resource) / ``delete`` / ``none``.
+
+A policy pass compiles to an ordinary DGL flow (for-each over the policy's
+datagrid query, then per object an optional execution-window gate and the
+apply step), so the DfMS gives ILM everything §2.1 demands for free:
+start/stop/pause/restart, status queries, provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import PolicyError
+from repro.dgl.model import Flow, FlowLogic, ForEach, Operation, Step
+from repro.sim.calendar import ExecutionWindow
+
+__all__ = ["PlacementRule", "ILMPolicy", "ACTIONS"]
+
+ACTIONS = ("replicate_to", "migrate_to", "trim_to_target", "delete", "none")
+
+
+@dataclass(frozen=True)
+class PlacementRule:
+    """One ordered rule: condition → action (→ target resource)."""
+
+    name: str
+    condition: str
+    action: str
+    target_resource: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise PolicyError(
+                f"rule {self.name!r}: unknown action {self.action!r} "
+                f"(choose from {ACTIONS})")
+        needs_target = self.action in ("replicate_to", "migrate_to",
+                                       "trim_to_target")
+        if needs_target and not self.target_resource:
+            raise PolicyError(
+                f"rule {self.name!r}: action {self.action!r} needs a "
+                "target_resource")
+        if not self.condition.strip():
+            raise PolicyError(f"rule {self.name!r}: empty condition")
+
+
+@dataclass
+class ILMPolicy:
+    """A named lifecycle policy over one collection."""
+
+    name: str
+    collection: str
+    domain: str                        # whose point of view `value` takes
+    rules: List[PlacementRule] = field(default_factory=list)
+    query: str = ""                    # narrows the collection (text form)
+    window: Optional[ExecutionWindow] = None
+    #: Metadata attribute recording the last applied rule per object.
+    mark_attribute: str = "ilm:last_action"
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise PolicyError(f"policy {self.name!r} has no rules")
+        names = [rule.name for rule in self.rules]
+        if len(names) != len(set(names)):
+            raise PolicyError(f"policy {self.name!r} has duplicate rule names")
+
+    def rule(self, name: str) -> PlacementRule:
+        """The rule called ``name`` (raises if unknown)."""
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise PolicyError(f"policy {self.name!r} has no rule {name!r}")
+
+    def compile_to_flow(self) -> Flow:
+        """One policy pass as a DGL flow.
+
+        The per-object work is the domain-specific operations ``ilm.gate``
+        (wait for the execution window, if any) and ``ilm.apply`` (evaluate
+        this policy's rules and perform the chosen action) — registered by
+        the :class:`~repro.ilm.engine.ILMManager` that owns the policy.
+        """
+        steps: List[Step] = []
+        if self.window is not None:
+            steps.append(Step(
+                name="gate",
+                operation=Operation("ilm.gate", {"policy": self.name})))
+        steps.append(Step(
+            name="apply",
+            operation=Operation("ilm.apply",
+                                {"policy": self.name, "path": "${f}"})))
+        return Flow(
+            name=f"ilm:{self.name}",
+            logic=FlowLogic(pattern=ForEach(
+                item_variable="f", collection=self.collection,
+                query=self.query or None)),
+            children=steps)

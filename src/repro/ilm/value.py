@@ -1,0 +1,61 @@
+"""Domain value of information.
+
+"During its lifecycle, information in the grid would have different
+business values for different domains participating in the datagrid …
+Once a domain's users are not interested in some information, its domain
+value decreases and data can either be deleted or migrated to less
+expensive storage systems." (§2.1)
+
+The model: an explicit per-domain value (metadata ``value:<domain>``) wins
+when present — that is the business-policy channel; otherwise value decays
+from a base value (metadata ``value``, default 1.0) with a configurable
+half-life from the object's last modification — the HSM-style freshness
+fallback the paper contrasts ILM against. Values are unitless; ILM rules
+compare them against thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+from repro.grid.namespace import DataObject
+
+__all__ = ["DomainValueModel", "SECONDS_PER_DAY"]
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class DomainValueModel:
+    """Computes the business value of one object for one domain."""
+
+    half_life_days: float = 30.0
+    default_base_value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.half_life_days <= 0:
+            raise PolicyError("half life must be positive")
+
+    def domain_value(self, obj: DataObject, domain: str, now: float) -> float:
+        """Value of ``obj`` to ``domain`` at virtual time ``now``."""
+        explicit = obj.metadata.get(f"value:{domain}")
+        if explicit is not None:
+            try:
+                return float(explicit)
+            except (TypeError, ValueError):
+                raise PolicyError(
+                    f"value:{domain} on {obj.path} is not numeric: "
+                    f"{explicit!r}") from None
+        base = obj.metadata.get("value", self.default_base_value)
+        try:
+            base = float(base)
+        except (TypeError, ValueError):
+            raise PolicyError(
+                f"value on {obj.path} is not numeric: {base!r}") from None
+        age_days = max(0.0, now - obj.modified_at) / SECONDS_PER_DAY
+        return base * 0.5 ** (age_days / self.half_life_days)
+
+    def age_days(self, obj: DataObject, now: float) -> float:
+        """Days since the object was last modified."""
+        return max(0.0, now - obj.modified_at) / SECONDS_PER_DAY

@@ -1,0 +1,10 @@
+"""Simulated wide-area network between administrative domains.
+
+Substitutes for the real grid WAN per DESIGN.md §2: routing, bandwidth,
+latency, and contention-aware transfers in virtual time.
+"""
+
+from repro.network.topology import Link, Topology
+from repro.network.transfer import TransferService, TransferStats
+
+__all__ = ["Link", "Topology", "TransferService", "TransferStats"]

@@ -1,0 +1,187 @@
+"""Inter-domain network topology.
+
+Administrative domains in a datagrid are connected by wide-area links of
+very different capacities — the CMS exploding-star scenario (§2.1) pushes
+data from CERN down a tier hierarchy precisely because tier links differ.
+This module models the topology as an undirected graph of
+latency/bandwidth links and answers routing and timing questions.
+
+Routing uses lowest-latency shortest paths (Dijkstra). Point-to-point
+transfer time uses the path's bottleneck bandwidth plus summed latencies,
+which is the standard pipelined-stream approximation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError, NoRouteError
+
+__all__ = ["Link", "Topology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected network link between two domains."""
+
+    a: str
+    b: str
+    latency_s: float
+    bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise NetworkError(f"link endpoints must differ, got {self.a!r} twice")
+        if self.latency_s < 0:
+            raise NetworkError("latency cannot be negative")
+        if self.bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+
+    @property
+    def ends(self) -> frozenset:
+        return frozenset((self.a, self.b))
+
+    def other(self, domain: str) -> str:
+        """The endpoint that is not ``domain``."""
+        if domain == self.a:
+            return self.b
+        if domain == self.b:
+            return self.a
+        raise NetworkError(f"{domain!r} is not an endpoint of {self}")
+
+
+class Topology:
+    """An undirected graph of domains and links."""
+
+    def __init__(self) -> None:
+        self._domains: set = set()
+        self._adjacency: Dict[str, List[Link]] = {}
+
+    @property
+    def domains(self) -> frozenset:
+        """All registered domain names."""
+        return frozenset(self._domains)
+
+    @property
+    def links(self) -> List[Link]:
+        """All links (each once)."""
+        seen = set()
+        out = []
+        for adj in self._adjacency.values():
+            for link in adj:
+                if link.ends not in seen:
+                    seen.add(link.ends)
+                    out.append(link)
+        return out
+
+    def add_domain(self, name: str) -> None:
+        """Register a domain (idempotent)."""
+        self._domains.add(name)
+        self._adjacency.setdefault(name, [])
+
+    def connect(self, a: str, b: str, latency_s: float,
+                bandwidth_bps: float) -> Link:
+        """Add (or replace) the link between ``a`` and ``b``."""
+        self.add_domain(a)
+        self.add_domain(b)
+        link = Link(a, b, latency_s, bandwidth_bps)
+        for end in (a, b):
+            self._adjacency[end] = [
+                l for l in self._adjacency[end] if l.ends != link.ends]
+            self._adjacency[end].append(link)
+        return link
+
+    def link_between(self, a: str, b: str) -> Optional[Link]:
+        """The direct link between ``a`` and ``b``, if one exists."""
+        for link in self._adjacency.get(a, ()):
+            if link.ends == frozenset((a, b)):
+                return link
+        return None
+
+    # -- routing ----------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> List[Link]:
+        """Lowest-latency path from ``src`` to ``dst`` as a list of links.
+
+        A same-domain route is the empty list (local access).
+        """
+        if src not in self._domains:
+            raise NetworkError(f"unknown domain {src!r}")
+        if dst not in self._domains:
+            raise NetworkError(f"unknown domain {dst!r}")
+        if src == dst:
+            return []
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, Tuple[str, Link]] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        visited = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for link in self._adjacency[node]:
+                neighbour = link.other(node)
+                nd = d + link.latency_s
+                if nd < dist.get(neighbour, float("inf")):
+                    dist[neighbour] = nd
+                    prev[neighbour] = (node, link)
+                    heapq.heappush(heap, (nd, neighbour))
+        if dst not in prev:
+            raise NoRouteError(f"no route from {src!r} to {dst!r}")
+        path: List[Link] = []
+        node = dst
+        while node != src:
+            node, link = prev[node]
+            path.append(link)
+        path.reverse()
+        return path
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Summed latency along the route."""
+        return sum(link.latency_s for link in self.route(src, dst))
+
+    def bottleneck_bandwidth(self, src: str, dst: str) -> float:
+        """Minimum bandwidth along the route (``inf`` for local access)."""
+        path = self.route(src, dst)
+        if not path:
+            return float("inf")
+        return min(link.bandwidth_bps for link in path)
+
+    def transfer_time(self, src: str, dst: str, nbytes: float) -> float:
+        """Uncontended time to move ``nbytes`` from ``src`` to ``dst``."""
+        if nbytes < 0:
+            raise NetworkError(f"negative transfer size: {nbytes}")
+        path = self.route(src, dst)
+        if not path:
+            return 0.0
+        bottleneck = min(link.bandwidth_bps for link in path)
+        return sum(link.latency_s for link in path) + nbytes / bottleneck
+
+    # -- convenience builders ----------------------------------------------
+
+    @classmethod
+    def star(cls, center: str, leaves: List[str], latency_s: float,
+             bandwidth_bps: float) -> "Topology":
+        """A hub-and-spoke topology (imploding/exploding star scenarios)."""
+        topo = cls()
+        topo.add_domain(center)
+        for leaf in leaves:
+            topo.connect(center, leaf, latency_s, bandwidth_bps)
+        return topo
+
+    @classmethod
+    def full_mesh(cls, domains: List[str], latency_s: float,
+                  bandwidth_bps: float) -> "Topology":
+        """Every pair of domains directly connected."""
+        topo = cls()
+        for name in domains:
+            topo.add_domain(name)
+        for i, a in enumerate(domains):
+            for b in domains[i + 1:]:
+                topo.connect(a, b, latency_s, bandwidth_bps)
+        return topo

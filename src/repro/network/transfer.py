@@ -1,0 +1,183 @@
+"""Contention-aware data transfers over the simulated network.
+
+The scheduler's cost model cares about "the bandwidth utilized" (§2.3), and
+the exploding-star experiment needs tier links to saturate when many
+replicas push at once. This module runs transfers as a fluid-flow model on
+the simulation kernel:
+
+* each active transfer gets, on every link it crosses, an equal share of
+  that link's bandwidth;
+* the transfer's instantaneous rate is the minimum share along its path;
+* rates are recomputed whenever a transfer starts or finishes.
+
+Equal-share-then-bottleneck slightly underuses links compared to true
+max-min fairness, but it is deterministic, monotone (more contention never
+speeds anyone up), and reproduces the contention shapes the experiments
+need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import NetworkError
+from repro.network.topology import Link, Topology
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["TransferService", "TransferStats"]
+
+#: Bytes below which a transfer is considered finished (float tolerance).
+_EPSILON_BYTES = 1e-6
+
+
+@dataclass
+class TransferStats:
+    """Outcome of one completed transfer."""
+
+    src: str
+    dst: str
+    nbytes: float
+    start_time: float
+    end_time: float
+    #: Links crossed; 0 means a same-domain (local) access.
+    hops: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        if self.duration <= 0:
+            return float("inf")
+        return self.nbytes / self.duration
+
+
+@dataclass
+class _ActiveTransfer:
+    stats: TransferStats
+    links: List[Link]
+    remaining: float
+    rate: float = 0.0
+    done: Event = None  # type: ignore[assignment]
+
+
+class TransferService:
+    """Runs point-to-point transfers with per-link fair sharing."""
+
+    def __init__(self, env: Environment, topology: Topology) -> None:
+        self.env = env
+        self.topology = topology
+        self._active: List[_ActiveTransfer] = []
+        self._wake_generation = 0
+        self.total_bytes_moved = 0.0
+        self.completed: List[TransferStats] = []
+
+    # -- public API ---------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, nbytes: float) -> Event:
+        """Start a transfer; the returned event succeeds with its stats."""
+        if nbytes < 0:
+            raise NetworkError(f"negative transfer size: {nbytes}")
+        done = self.env.event()
+        links = self.topology.route(src, dst)
+        stats = TransferStats(src=src, dst=dst, nbytes=nbytes,
+                              start_time=self.env.now, end_time=self.env.now,
+                              hops=len(links))
+        if not links or nbytes == 0:
+            # Local (same-domain) or empty transfer: instantaneous.
+            self._finish(stats, done)
+            return done
+        latency = sum(link.latency_s for link in links)
+        self.env.process(self._admit_after_latency(latency, stats, links, done))
+        return done
+
+    @property
+    def active_count(self) -> int:
+        """Number of transfers currently streaming."""
+        return len(self._active)
+
+    def link_utilization(self, link: Link) -> float:
+        """Fraction of ``link``'s bandwidth in use right now."""
+        used = sum(t.rate for t in self._active if link in t.links)
+        return used / link.bandwidth_bps
+
+    # -- internals ----------------------------------------------------------
+
+    def _admit_after_latency(self, latency, stats, links, done):
+        yield self.env.timeout(latency)
+        transfer = _ActiveTransfer(stats=stats, links=links,
+                                   remaining=stats.nbytes, done=done)
+        # end_time doubles as "last settled" during streaming; start the
+        # clock at admission, not at the original call instant.
+        stats.end_time = self.env.now
+        self._settle_progress()
+        self._active.append(transfer)
+        self._recompute_rates()
+        self._schedule_wake()
+
+    def _finish(self, stats: TransferStats, done: Event) -> None:
+        stats.end_time = self.env.now
+        if stats.hops:
+            # Only traffic that actually crossed a link is WAN movement;
+            # same-domain accesses are free (data virtualization's point).
+            self.total_bytes_moved += stats.nbytes
+        self.completed.append(stats)
+        done.succeed(stats)
+
+    def _settle_progress(self) -> None:
+        """Advance every active transfer to the current instant."""
+        now = self.env.now
+        for transfer in self._active:
+            elapsed = now - transfer.stats.end_time
+            transfer.remaining -= transfer.rate * elapsed
+            transfer.stats.end_time = now
+        finished = [t for t in self._active
+                    if t.remaining <= self._finish_tolerance(t, now)]
+        for transfer in finished:
+            self._active.remove(transfer)
+            self._finish(transfer.stats, transfer.done)
+
+    @staticmethod
+    def _finish_tolerance(transfer: _ActiveTransfer, now: float) -> float:
+        """Residual bytes below which a transfer counts as finished.
+
+        Floating-point addition of a tiny finish delay onto a large virtual
+        clock can lose low bits, leaving a residue the next wake can never
+        drain (the delay rounds to zero and time stops advancing). The
+        tolerance therefore scales with both the transfer size and the
+        clock's representable step at the current instant.
+        """
+        clock_step = max(1e-9, 4 * math.ulp(now))
+        return max(_EPSILON_BYTES,
+                   1e-9 * transfer.stats.nbytes,
+                   transfer.rate * clock_step)
+
+    def _recompute_rates(self) -> None:
+        # Count active transfers per link, then give each transfer the
+        # bottleneck of its equal shares.
+        loads: Dict[frozenset, int] = {}
+        for transfer in self._active:
+            for link in transfer.links:
+                loads[link.ends] = loads.get(link.ends, 0) + 1
+        for transfer in self._active:
+            transfer.rate = min(
+                link.bandwidth_bps / loads[link.ends] for link in transfer.links)
+
+    def _schedule_wake(self) -> None:
+        """Arrange to wake at the next transfer completion."""
+        self._wake_generation += 1
+        if not self._active:
+            return
+        next_finish = min(t.remaining / t.rate for t in self._active)
+        self.env.process(self._wake(next_finish, self._wake_generation))
+
+    def _wake(self, delay: float, generation: int):
+        yield self.env.timeout(delay)
+        if generation != self._wake_generation:
+            return  # superseded by a later start/finish
+        self._settle_progress()
+        self._recompute_rates()
+        self._schedule_wake()

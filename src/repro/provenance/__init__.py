@@ -1,0 +1,19 @@
+"""Provenance: durable, append-only history of everything the grid did.
+
+Records DGMS operations, DfMS engine events, and application pipeline
+steps; queryable during execution and arbitrarily long after it (§2.1,
+§3.1).
+"""
+
+from repro.provenance.record import CATEGORIES, ProvenanceRecord
+from repro.provenance.store import ProvenanceStore
+from repro.provenance.wiring import (
+    attach_to_dgms,
+    attach_to_server,
+    record_pipeline_operation,
+)
+
+__all__ = [
+    "ProvenanceRecord", "ProvenanceStore", "CATEGORIES",
+    "attach_to_dgms", "attach_to_server", "record_pipeline_operation",
+]

@@ -1,0 +1,63 @@
+"""Provenance record model.
+
+§2.1 (NARA Persistent Archives): the system must store "provenance
+information for not only the DGMS operations performed by the system, but
+also the operations that are performed as part of the archival pipeline",
+queryable "at any time, even (years) after the execution".
+
+A record is deliberately flat and JSON-serializable: category + subject +
+actor + operation + times + free detail. Three categories cover the
+paper's requirement:
+
+* ``dgms`` — every datagrid operation (put, replicate, migrate, …);
+* ``engine`` — every DfMS engine event (step started/completed/failed,
+  pause/resume, execution lifecycle);
+* ``pipeline`` — application-level annotations recorded explicitly by
+  business logic (the archival-pipeline operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ProvenanceError
+
+__all__ = ["ProvenanceRecord", "CATEGORIES"]
+
+CATEGORIES = ("dgms", "engine", "pipeline")
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One immutable provenance fact."""
+
+    category: str                 # dgms | engine | pipeline
+    operation: str                # e.g. "put", "step_completed", "ocr"
+    subject: str                  # object path, or request id / instance key
+    time: float                   # virtual time of the fact
+    actor: Optional[str] = None   # qualified user, server name, …
+    end_time: Optional[float] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ProvenanceError(
+                f"unknown category {self.category!r} (use one of {CATEGORIES})")
+        if not self.operation:
+            raise ProvenanceError("operation cannot be empty")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (for the JSON-lines store)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProvenanceRecord":
+        try:
+            return cls(category=data["category"], operation=data["operation"],
+                       subject=data["subject"], time=data["time"],
+                       actor=data.get("actor"),
+                       end_time=data.get("end_time"),
+                       detail=data.get("detail", {}))
+        except KeyError as exc:
+            raise ProvenanceError(f"record is missing {exc}") from None

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate (virtual time, processes, windows).
+
+The paper's datagridflows are *long-run* — days of archival schedules, ILM
+restricted to weekends, provenance queried years later. This package supplies
+the deterministic virtual-time kernel those behaviours execute on.
+"""
+
+from repro.sim.calendar import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+    ExecutionWindow,
+    day_of_week,
+    hour_of_day,
+)
+from repro.sim.kernel import Condition, Environment, Event, Process, Timeout
+from repro.sim.resources import Request, Resource
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Environment", "Event", "Timeout", "Process", "Condition",
+    "Resource", "Request", "RandomStreams", "ExecutionWindow",
+    "SECONDS_PER_HOUR", "SECONDS_PER_DAY", "SECONDS_PER_WEEK",
+    "day_of_week", "hour_of_day",
+]

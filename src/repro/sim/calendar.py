@@ -1,0 +1,187 @@
+"""Virtual calendar arithmetic for execution windows.
+
+The paper's ILM scenarios restrict long-run processes to "non-working hours
+or weekends" (§2.1). This module maps virtual seconds onto a simple civil
+calendar (the epoch, time 0.0, is Monday 00:00) and provides
+:class:`ExecutionWindow` — a weekly-recurring set of allowed intervals — with
+the two queries the DfMS needs: *is this instant allowed?* and *when does the
+next allowed interval start / the current one end?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import SimError
+
+__all__ = [
+    "SECONDS_PER_HOUR", "SECONDS_PER_DAY", "SECONDS_PER_WEEK",
+    "day_of_week", "hour_of_day", "ExecutionWindow",
+]
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+#: Day indices (epoch = Monday 00:00).
+MONDAY, TUESDAY, WEDNESDAY, THURSDAY, FRIDAY, SATURDAY, SUNDAY = range(7)
+
+
+def day_of_week(time: float) -> int:
+    """Day index (0 = Monday … 6 = Sunday) at virtual ``time`` seconds."""
+    return int((time % SECONDS_PER_WEEK) // SECONDS_PER_DAY)
+
+
+def hour_of_day(time: float) -> float:
+    """Fractional hour of the day at virtual ``time`` seconds."""
+    return (time % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class _Interval:
+    """Closed-open interval [start, end) in seconds within the week."""
+    start: float
+    end: float
+
+
+class ExecutionWindow:
+    """A weekly-recurring set of time intervals when work is allowed.
+
+    Intervals are given as ``(day, start_hour, end_hour)`` triples; an
+    ``end_hour`` of 24 means midnight at the end of that day. Intervals on
+    consecutive specifications may abut to form longer windows (for example
+    a whole weekend).
+
+    >>> nights = ExecutionWindow.nightly(start_hour=20, end_hour=6)
+    >>> nights.contains(2 * 3600.0)   # Monday 02:00
+    True
+    """
+
+    def __init__(self, intervals: Iterable[Tuple[int, float, float]]) -> None:
+        spans: List[_Interval] = []
+        for day, start_hour, end_hour in intervals:
+            if not 0 <= day <= 6:
+                raise SimError(f"day must be 0..6, got {day}")
+            if not (0 <= start_hour < end_hour <= 24):
+                raise SimError(
+                    f"need 0 <= start < end <= 24, got {start_hour}..{end_hour}")
+            spans.append(_Interval(
+                day * SECONDS_PER_DAY + start_hour * SECONDS_PER_HOUR,
+                day * SECONDS_PER_DAY + end_hour * SECONDS_PER_HOUR))
+        if not spans:
+            raise SimError("an execution window needs at least one interval")
+        spans.sort(key=lambda s: s.start)
+        # Merge abutting/overlapping spans.
+        merged: List[_Interval] = [spans[0]]
+        for span in spans[1:]:
+            last = merged[-1]
+            if span.start <= last.end:
+                merged[-1] = _Interval(last.start, max(last.end, span.end))
+            else:
+                merged.append(span)
+        # Merge wrap-around (Sunday night into Monday morning).
+        if len(merged) > 1 and merged[0].start == 0.0 and merged[-1].end == SECONDS_PER_WEEK:
+            merged[0] = _Interval(merged[-1].start - SECONDS_PER_WEEK, merged[0].end)
+            merged.pop()
+        self._spans: Sequence[_Interval] = tuple(merged)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def always(cls) -> "ExecutionWindow":
+        """A window that is always open."""
+        return cls([(d, 0, 24) for d in range(7)])
+
+    @classmethod
+    def weekends(cls) -> "ExecutionWindow":
+        """Saturday 00:00 through Sunday 24:00."""
+        return cls([(SATURDAY, 0, 24), (SUNDAY, 0, 24)])
+
+    @classmethod
+    def nightly(cls, start_hour: float = 20, end_hour: float = 6) -> "ExecutionWindow":
+        """Every night from ``start_hour`` to ``end_hour`` the next morning."""
+        intervals: List[Tuple[int, float, float]] = []
+        for day in range(7):
+            intervals.append((day, start_hour, 24))
+            intervals.append((day, 0, end_hour))
+        return cls(intervals)
+
+    @classmethod
+    def non_working_hours(cls) -> "ExecutionWindow":
+        """Weeknights (18:00–08:00) plus the whole weekend — §2.1's policy."""
+        intervals: List[Tuple[int, float, float]] = [
+            (SATURDAY, 0, 24), (SUNDAY, 0, 24)]
+        for day in (MONDAY, TUESDAY, WEDNESDAY, THURSDAY, FRIDAY):
+            intervals.append((day, 18, 24))
+            intervals.append((day, 0, 8))
+        return cls(intervals)
+
+    # -- queries ------------------------------------------------------------
+
+    def contains(self, time: float) -> bool:
+        """True if virtual ``time`` falls inside the window."""
+        week_time = time % SECONDS_PER_WEEK
+        for span in self._spans:
+            if span.start <= week_time < span.end:
+                return True
+            # A wrap-around span has negative start; test its tail too.
+            if span.start < 0 and week_time - SECONDS_PER_WEEK >= span.start:
+                return True
+        return False
+
+    def next_open(self, time: float) -> float:
+        """Earliest instant >= ``time`` inside the window (maybe ``time``)."""
+        if self.contains(time):
+            return time
+        week_start = time - time % SECONDS_PER_WEEK
+        week_time = time % SECONDS_PER_WEEK
+        candidates = []
+        for span in self._spans:
+            start = span.start % SECONDS_PER_WEEK
+            if start >= week_time:
+                candidates.append(week_start + start)
+            else:
+                candidates.append(week_start + start + SECONDS_PER_WEEK)
+        return min(candidates)
+
+    def current_close(self, time: float) -> float:
+        """End of the window interval containing ``time``.
+
+        Raises :class:`SimError` if ``time`` is outside the window.
+        """
+        week_time = time % SECONDS_PER_WEEK
+        week_start = time - week_time
+        for span in self._spans:
+            if span.start <= week_time < span.end:
+                end = span.end
+                # Chain into a wrap-around span that starts where this ends.
+                if end == SECONDS_PER_WEEK and self._spans[0].start < 0:
+                    end = SECONDS_PER_WEEK + self._spans[0].end
+                return week_start + end
+            if span.start < 0 and week_time - SECONDS_PER_WEEK >= span.start:
+                # ``time`` sits in the wrap span's *tail* (late Sunday);
+                # its close is early next week, not this week's copy.
+                return week_start + SECONDS_PER_WEEK + span.end
+        raise SimError(f"time {time} is not inside the window")
+
+    def open_seconds_between(self, start: float, end: float) -> float:
+        """Total seconds of open window in [start, end)."""
+        if end < start:
+            raise SimError("end before start")
+        total = 0.0
+        t = start
+        while t < end:
+            if self.contains(t):
+                boundary = min(self.current_close(t), end)
+            else:
+                boundary = min(self.next_open(t), end)
+            if boundary <= t:
+                # Defensive: any non-advancing boundary is a window-
+                # arithmetic bug; fail loudly instead of looping forever.
+                raise SimError(
+                    f"window boundary did not advance at t={t}")
+            if self.contains(t):
+                total += boundary - t
+            t = boundary
+        return total

@@ -1,0 +1,104 @@
+"""Capacity-limited resources for the simulation kernel.
+
+:class:`Resource` models a pool of identical slots (for example CPU slots on
+a compute resource, or tape drives on an archival system). Processes request
+a slot, hold it while doing timed work, and release it; excess requests queue
+FIFO.
+
+Usage from inside a process generator::
+
+    req = resource.request()
+    yield req
+    try:
+        yield env.timeout(duration)
+    finally:
+        resource.release(req)
+
+or with the context-manager-style helper::
+
+    with resource.request() as req:
+        yield req
+        yield env.timeout(duration)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.errors import SimError
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["Resource", "Request"]
+
+
+class Request(Event):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a slot. The returned event triggers when the slot is granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot, waking the next waiter (if any).
+
+        Releasing a request that was never granted (or already released) is a
+        no-op, so ``with resource.request()`` blocks stay exception-safe.
+        """
+        try:
+            self._users.remove(request)
+        except ValueError:
+            self._cancel(request)
+            return
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass

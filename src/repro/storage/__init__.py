@@ -1,0 +1,23 @@
+"""Simulated physical storage substrate (disks, parallel FS, tape archives).
+
+Stands in for the real storage systems the paper's datagrids federate —
+substitution documented in DESIGN.md §2.
+"""
+
+from repro.storage.failures import FailureInjector, NO_FAILURES
+from repro.storage.models import (
+    GB,
+    MB,
+    MODEL_PRESETS,
+    TB,
+    PerformanceModel,
+    StorageClass,
+)
+from repro.storage.resource import PhysicalStorageResource, StorageStats
+
+__all__ = [
+    "StorageClass", "PerformanceModel", "MODEL_PRESETS",
+    "PhysicalStorageResource", "StorageStats",
+    "FailureInjector", "NO_FAILURES",
+    "MB", "GB", "TB",
+]

@@ -1,0 +1,113 @@
+"""Performance and cost models for simulated physical storage.
+
+The paper's datagrids span heterogeneous storage — from parallel filesystems
+at supercomputer centers to deep tape archives at third-party archiver
+domains (§2.1). Experiments depend on the *relative* characteristics of
+these classes (tape: enormous latency, cheap retention; parallel FS: high
+bandwidth, expensive), which these models encode. Absolute numbers are
+order-of-magnitude figures for mid-2000s hardware; every preset can be
+overridden per resource.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+__all__ = ["StorageClass", "PerformanceModel", "MODEL_PRESETS", "GB", "MB", "TB"]
+
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+TB = 1024.0 * GB
+
+SECONDS_PER_MONTH = 30 * 24 * 3600.0
+
+
+class StorageClass(enum.Enum):
+    """Broad classes of physical storage found in a datagrid."""
+
+    MEMORY = "memory"
+    DISK = "disk"
+    PARALLEL_FS = "parallel_fs"
+    ARCHIVE = "archive"  # tape silo / deep archive
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Timing and cost model for one storage system.
+
+    Attributes
+    ----------
+    access_latency_s:
+        Fixed per-operation setup cost (seek, tape mount, metadata lookup).
+    read_bandwidth_bps / write_bandwidth_bps:
+        Sustained streaming rates in bytes per second.
+    cost_per_gb_month:
+        Retention cost in abstract currency units — the quantity ILM
+        policies trade against the "business value" of data (§2.1).
+    """
+
+    access_latency_s: float
+    read_bandwidth_bps: float
+    write_bandwidth_bps: float
+    cost_per_gb_month: float
+
+    def __post_init__(self) -> None:
+        if self.access_latency_s < 0:
+            raise StorageError("access latency cannot be negative")
+        if self.read_bandwidth_bps <= 0 or self.write_bandwidth_bps <= 0:
+            raise StorageError("bandwidth must be positive")
+        if self.cost_per_gb_month < 0:
+            raise StorageError("cost cannot be negative")
+
+    def read_time(self, nbytes: float) -> float:
+        """Seconds to read ``nbytes`` (latency + streaming)."""
+        if nbytes < 0:
+            raise StorageError(f"negative read size: {nbytes}")
+        return self.access_latency_s + nbytes / self.read_bandwidth_bps
+
+    def write_time(self, nbytes: float) -> float:
+        """Seconds to write ``nbytes`` (latency + streaming)."""
+        if nbytes < 0:
+            raise StorageError(f"negative write size: {nbytes}")
+        return self.access_latency_s + nbytes / self.write_bandwidth_bps
+
+    def retention_cost(self, nbytes: float, seconds: float) -> float:
+        """Cost of holding ``nbytes`` for ``seconds`` of virtual time."""
+        if nbytes < 0 or seconds < 0:
+            raise StorageError("negative size or duration")
+        return self.cost_per_gb_month * (nbytes / GB) * (seconds / SECONDS_PER_MONTH)
+
+
+#: Default model per storage class. Archive (tape) trades minutes of mount
+#: latency for an order of magnitude cheaper retention; parallel filesystems
+#: trade cost for bandwidth.
+MODEL_PRESETS = {
+    StorageClass.MEMORY: PerformanceModel(
+        access_latency_s=1e-6,
+        read_bandwidth_bps=2 * GB,
+        write_bandwidth_bps=2 * GB,
+        cost_per_gb_month=100.0,
+    ),
+    StorageClass.DISK: PerformanceModel(
+        access_latency_s=0.01,
+        read_bandwidth_bps=60 * MB,
+        write_bandwidth_bps=50 * MB,
+        cost_per_gb_month=1.0,
+    ),
+    StorageClass.PARALLEL_FS: PerformanceModel(
+        access_latency_s=0.005,
+        read_bandwidth_bps=400 * MB,
+        write_bandwidth_bps=300 * MB,
+        cost_per_gb_month=4.0,
+    ),
+    StorageClass.ARCHIVE: PerformanceModel(
+        access_latency_s=90.0,  # tape fetch + mount
+        read_bandwidth_bps=30 * MB,
+        write_bandwidth_bps=30 * MB,
+        cost_per_gb_month=0.05,
+    ),
+}

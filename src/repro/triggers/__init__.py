@@ -1,0 +1,12 @@
+"""Datagrid triggers: ECA rules over the logical namespace (§2.2)."""
+
+from repro.triggers.manager import (
+    ORDERING_STRATEGIES,
+    TriggerFiring,
+    TriggerManager,
+)
+from repro.triggers.trigger import DatagridTrigger
+from repro.triggers.xml_io import trigger_from_xml, trigger_to_xml
+
+__all__ = ["DatagridTrigger", "TriggerManager", "TriggerFiring",
+           "ORDERING_STRATEGIES", "trigger_to_xml", "trigger_from_xml"]

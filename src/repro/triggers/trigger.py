@@ -1,0 +1,87 @@
+"""Datagrid trigger definitions.
+
+"A datagrid trigger is a mapping from any event in the logical data storage
+namespace to a process initiated in the datagrid in response to such an
+event" (§2.2), with the three classic ECA components:
+
+* **Event** — which namespace changes (and which phase, before/after) the
+  trigger listens to, narrowed by a path glob;
+* **Condition** — a DGL expression over the event's fields and the target
+  object's metadata;
+* **Action** — the process to initiate: a full DGL :class:`Flow` or a
+  single :class:`Operation`, executed through a DfMS server as the
+  trigger's owner. Event fields are exposed to the action as DGL variables
+  (``event_path``, ``event_kind``, ``event_user``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Union
+
+from repro.errors import TriggerError
+from repro.dgl.model import Flow, Operation, Step, Variable
+from repro.grid.events import EventKind, EventPhase, NamespaceEvent
+from repro.grid.users import User
+
+__all__ = ["DatagridTrigger"]
+
+
+@dataclass
+class DatagridTrigger:
+    """One registered ECA rule over the namespace."""
+
+    name: str
+    owner: User
+    kinds: FrozenSet[EventKind]
+    action: Union[Flow, Operation]
+    phase: EventPhase = EventPhase.AFTER
+    path_pattern: str = "*"
+    condition: str = "true"
+    priority: int = 0
+    enabled: bool = True
+    #: Stop firing after this many activations (None = unlimited) — the
+    #: cascade safety valve for triggers whose actions cause new events.
+    max_firings: Optional[int] = None
+    firings: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TriggerError("trigger name cannot be empty")
+        if not self.kinds:
+            raise TriggerError(f"trigger {self.name!r} listens to no events")
+        if not isinstance(self.action, (Flow, Operation)):
+            raise TriggerError(
+                f"trigger {self.name!r} action must be a Flow or Operation")
+
+    # -- matching ------------------------------------------------------------
+
+    def matches_event(self, event: NamespaceEvent) -> bool:
+        """Structural match: kind, phase, and path pattern (not condition)."""
+        if not self.enabled:
+            return False
+        if self.max_firings is not None and self.firings >= self.max_firings:
+            return False
+        if event.kind not in self.kinds:
+            return False
+        if event.phase is not self.phase:
+            return False
+        return fnmatch.fnmatchcase(event.path, self.path_pattern)
+
+    # -- action packaging --------------------------------------------------------
+
+    def action_flow(self, event: NamespaceEvent) -> Flow:
+        """Wrap the action as a flow with the event bound as variables."""
+        variables = [
+            Variable("event_path", event.path),
+            Variable("event_kind", event.kind.value),
+            Variable("event_phase", event.phase.value),
+            Variable("event_user", event.user or ""),
+        ]
+        if isinstance(self.action, Flow):
+            children = [self.action]
+        else:
+            children = [Step(name="action", operation=self.action)]
+        return Flow(name=f"trigger:{self.name}", variables=variables,
+                    children=children)

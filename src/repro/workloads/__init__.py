@@ -1,0 +1,24 @@
+"""Workload generators and the paper's named deployment scenarios."""
+
+from repro.workloads.generators import (
+    lognormal_sizes,
+    populate_collection,
+    random_task_graph,
+    sleep_bag_flow,
+    sleep_chain_flow,
+    uniform_sizes,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    bbsrc_scenario,
+    cms_scenario,
+    scec_scenario,
+    ucsd_library_scenario,
+)
+
+__all__ = [
+    "populate_collection", "uniform_sizes", "lognormal_sizes",
+    "sleep_bag_flow", "sleep_chain_flow", "random_task_graph",
+    "Scenario", "bbsrc_scenario", "cms_scenario", "scec_scenario",
+    "ucsd_library_scenario",
+]

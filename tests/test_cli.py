@@ -1,0 +1,96 @@
+"""Tests for the datagridflow CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.dgl import (
+    DataGridRequest,
+    FlowStatusQuery,
+    flow_builder,
+    flow_to_moml,
+    request_to_xml,
+)
+
+
+@pytest.fixture
+def document(tmp_path):
+    flow = (flow_builder("job")
+            .step("a", "dgl.sleep", duration=1)
+            .step("b", "srb.replicate", path="/x", resource="tape")
+            .build())
+    request = DataGridRequest(user="alice@sdsc",
+                              virtual_organization="vo", body=flow)
+    path = tmp_path / "request.xml"
+    path.write_text(request_to_xml(request))
+    return str(path)
+
+
+def test_validate_ok(document, capsys):
+    assert main(["validate", document]) == 0
+    out = capsys.readouterr().out
+    assert "OK: flow 'job' with 2 steps" in out
+
+
+def test_validate_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.xml"
+    bad.write_text("<dataGridRequest><gridUser>u</gridUser>"
+                   "</dataGridRequest>")
+    assert main(["validate", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_validate_missing_file(capsys):
+    assert main(["validate", "/no/such/file.xml"]) == 2
+
+
+def test_render(document, capsys):
+    assert main(["render", document]) == 0
+    out = capsys.readouterr().out
+    assert "[flow] job (sequential)" in out
+    assert "[step] b: srb.replicate" in out
+
+
+def test_render_refuses_status_query(tmp_path, capsys):
+    request = DataGridRequest(user="u@d", virtual_organization="",
+                              body=FlowStatusQuery(request_id="r-1"))
+    path = tmp_path / "query.xml"
+    path.write_text(request_to_xml(request))
+    assert main(["render", str(path)]) == 1
+
+
+def test_structure(capsys):
+    assert main(["structure", "Flow"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("Flow")
+    assert "children: Flow | Step*" in out
+    assert main(["structure", "Nonsense"]) == 1
+
+
+def test_moml_round_trip_via_cli(tmp_path, capsys):
+    flow = flow_builder("ide-flow").step("s", "dgl.noop").build()
+    moml_path = tmp_path / "model.moml"
+    moml_path.write_text(flow_to_moml(flow))
+    dgl_path = tmp_path / "out.xml"
+    assert main(["moml2dgl", str(moml_path), "--user", "alice@sdsc",
+                 "-o", str(dgl_path)]) == 0
+    assert main(["validate", str(dgl_path)]) == 0
+    back_path = tmp_path / "back.moml"
+    assert main(["dgl2moml", str(dgl_path), "-o", str(back_path)]) == 0
+    assert "datagridflow.Step" in back_path.read_text()
+
+
+def test_demo_library(capsys):
+    assert main(["demo", "library", "--files", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario 'library': completed" in out
+    assert "provenance records" in out
+
+
+def test_demo_bbsrc(capsys):
+    assert main(["demo", "bbsrc", "--files", "2"]) == 0
+    assert "completed" in capsys.readouterr().out
+
+
+def test_demo_cms(capsys):
+    assert main(["demo", "cms", "--files", "2"]) == 0
+    assert "completed" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Tests for the srb.grant and srb.stat operations."""
+
+import pytest
+
+from repro.dgl import ExecutionState, flow_builder
+from repro.grid import Permission
+from repro.storage import MB
+
+
+def test_srb_grant_changes_acl_from_a_flow(dfms):
+    """The §2.1 ILM step: change permissions before archiving."""
+    dfms.put_file("/home/alice/record.dat", size=MB)
+    flow = (flow_builder("lockdown")
+            .step("share", "srb.grant", path="/home/alice/record.dat",
+                  principal=dfms.bob.qualified_name, permission="read")
+            .step("archive", "srb.replicate",
+                  path="/home/alice/record.dat", resource="sdsc-tape")
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.COMPLETED
+    obj = dfms.dgms.namespace.resolve_object("/home/alice/record.dat")
+    assert obj.acl.allows(dfms.bob, Permission.READ)
+    assert not obj.acl.allows(dfms.bob, Permission.WRITE)
+
+
+def test_srb_grant_unknown_permission_fails(dfms):
+    dfms.put_file("/home/alice/f.dat", size=MB)
+    flow = (flow_builder("bad")
+            .step("g", "srb.grant", path="/home/alice/f.dat",
+                  principal="bob@ucsd", permission="rwx")
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.FAILED
+    assert "unknown permission" in response.body.error
+
+
+def test_srb_grant_requires_own(dfms):
+    dfms.put_file("/home/alice/f.dat", size=MB)
+    flow = (flow_builder("sneak")
+            .step("g", "srb.grant", path="/home/alice/f.dat",
+                  principal="bob@ucsd", permission="own")
+            .build())
+    response = dfms.submit_sync(flow, user=dfms.bob)
+    assert response.body.state is ExecutionState.FAILED
+
+
+def test_srb_stat_returns_summary(dfms):
+    dfms.put_file("/home/alice/f.dat", size=2 * MB,
+                  metadata={"stage": "raw"})
+    flow = (flow_builder("inspect")
+            .step("file", "srb.stat", assign_to="file_info",
+                  path="/home/alice/f.dat")
+            .step("dir", "srb.stat", assign_to="dir_info",
+                  path="/home/alice")
+            .build())
+    dfms.submit_sync(flow)
+    execution = dfms.server.executions()[0]
+    effects = dict(entry for key in ("file", "dir")
+                   for entry in execution.journal[key].effects)
+    assert effects["file_info"]["kind"] == "object"
+    assert effects["file_info"]["size"] == 2 * MB
+    assert effects["file_info"]["metadata"]["stage"] == "raw"
+    assert effects["dir_info"]["kind"] == "collection"
+    assert effects["dir_info"]["children"] == 1
+
+
+def test_srb_stat_usable_in_conditions(dfms):
+    """stat feeds a switch: big files go to tape, small stay on disk."""
+    dfms.put_file("/home/alice/big.dat", size=50 * MB)
+    flow = (flow_builder("router")
+            .variable("info", None)
+            .subflow(flow_builder("inspect")
+                     .step("look", "srb.stat", assign_to="info",
+                           path="/home/alice/big.dat"))
+            .subflow(
+                flow_builder("route")
+                .switch("'tape' if info['size'] > 10485760 else 'disk'")
+                .subflow(flow_builder("tape").step(
+                    "t", "srb.replicate", path="/home/alice/big.dat",
+                    resource="sdsc-tape"))
+                .subflow(flow_builder("disk").step(
+                    "d", "dgl.noop")))
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.COMPLETED
+    obj = dfms.dgms.namespace.resolve_object("/home/alice/big.dat")
+    assert any(r.physical_name == "sdsc-tape-1" for r in obj.good_replicas())

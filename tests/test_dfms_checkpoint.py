@@ -1,0 +1,158 @@
+"""Tests for checkpoint/restart of long-run executions."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.dfms import (
+    DfMSServer,
+    checkpoint_execution,
+    checkpoint_from_json,
+    checkpoint_to_json,
+    restore_execution,
+)
+from repro.dgl import DataGridRequest, ExecutionState, flow_builder
+from repro.storage import MB
+
+
+def submit_async(dfms, flow):
+    return dfms.server.submit(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=flow))
+
+
+def three_puts():
+    builder = flow_builder("ingest")
+    for i in range(3):
+        builder.step(f"put{i}", "srb.put", path=f"/home/alice/c{i}.dat",
+                     size=MB, resource="sdsc-disk")
+    return builder.build()
+
+
+def test_checkpoint_captures_journal(dfms):
+    ack = submit_async(dfms, three_puts())
+
+    def scenario():
+        # Pause while put0 is still in flight: it completes (~0.03 s) and is
+        # journalled; the pause bites at the boundary before put1.
+        yield dfms.env.timeout(0.01)
+        dfms.server.pause(ack.request_id)
+        yield dfms.env.timeout(1.0)
+        return checkpoint_execution(dfms.server, ack.request_id)
+
+    snapshot = dfms.run(scenario())
+    keys = {entry["key"] for entry in snapshot["journal"]}
+    assert "put0" in keys
+    assert "put2" not in keys
+    assert "<dataGridRequest" in snapshot["request_xml"]
+
+
+def test_checkpoint_json_round_trip(dfms):
+    ack = submit_async(dfms, three_puts())
+
+    def scenario():
+        yield dfms.server.wait(ack.request_id)
+
+    dfms.run(scenario())
+    snapshot = checkpoint_execution(dfms.server, ack.request_id)
+    assert checkpoint_from_json(checkpoint_to_json(snapshot)) == snapshot
+
+
+def test_restore_skips_completed_steps_and_finishes_rest(dfms):
+    ack = submit_async(dfms, three_puts())
+
+    def run_until_paused():
+        yield dfms.env.timeout(0.01)
+        dfms.server.pause(ack.request_id)
+        yield dfms.env.timeout(0.5)
+        snapshot = checkpoint_execution(dfms.server, ack.request_id)
+        dfms.server.cancel(ack.request_id)       # the "crash"
+        yield dfms.server.wait(ack.request_id)
+        return snapshot
+
+    snapshot = dfms.run(run_until_paused())
+    done_before = {entry["key"] for entry in snapshot["journal"]}
+    assert done_before == {"put0"}
+
+    # New server instance over the SAME datagrid (the grid state survived).
+    new_server = DfMSServer(dfms.env, dfms.dgms, name="matrix-restarted")
+    execution = restore_execution(new_server, snapshot)
+
+    def wait_done():
+        yield new_server.wait(execution.request_id)
+
+    dfms.run(wait_done())
+    assert execution.state is ExecutionState.COMPLETED
+    # All three objects exist; put0 was NOT re-ingested (no duplicate error).
+    for i in range(3):
+        assert dfms.dgms.namespace.exists(f"/home/alice/c{i}.dat")
+    # Exactly one replica each — a rerun of put0 would have raised.
+    obj0 = dfms.dgms.namespace.resolve_object("/home/alice/c0.dat")
+    assert len(obj0.replicas) == 1
+
+
+def test_restore_keeps_request_id(dfms):
+    ack = submit_async(dfms, three_puts())
+
+    def scenario():
+        yield dfms.server.wait(ack.request_id)
+
+    dfms.run(scenario())
+    snapshot = checkpoint_execution(dfms.server, ack.request_id)
+    new_server = DfMSServer(dfms.env, dfms.dgms, name="matrix-2")
+    execution = restore_execution(new_server, snapshot)
+    assert execution.request_id == ack.request_id
+    # Status queries against the old identifier work on the new server.
+    def wait_done():
+        yield new_server.wait(execution.request_id)
+    dfms.run(wait_done())
+    assert new_server.status(ack.request_id).state is ExecutionState.COMPLETED
+
+
+def test_restore_replays_variable_effects(dfms):
+    flow = (flow_builder("calc")
+            .variable("x", 0)
+            .variable("y", 0)
+            .step("set", "dgl.set", variable="x", value=41)
+            .step("use", "dgl.set", variable="y", value="${x + 1}")
+            .build())
+    # Run to completion, checkpoint, restore: both steps replay from journal.
+    ack = submit_async(dfms, flow)
+
+    def scenario():
+        yield dfms.server.wait(ack.request_id)
+
+    dfms.run(scenario())
+    snapshot = checkpoint_execution(dfms.server, ack.request_id)
+    new_server = DfMSServer(dfms.env, dfms.dgms, name="matrix-3")
+    execution = restore_execution(new_server, snapshot)
+
+    def wait_done():
+        yield new_server.wait(execution.request_id)
+
+    dfms.run(wait_done())
+    assert execution.state is ExecutionState.COMPLETED
+    # Both steps were replayed from the journal; the "use" entry carries the
+    # effect computed from the replayed value of x (41 + 1).
+    assert ("y", 42) in [tuple(e) for e in execution.journal["use"].effects]
+
+
+def test_restore_rejects_bad_snapshots(dfms):
+    with pytest.raises(CheckpointError):
+        restore_execution(dfms.server, {"format": 99})
+    with pytest.raises(CheckpointError):
+        restore_execution(dfms.server, {"format": 1})
+    with pytest.raises(CheckpointError):
+        checkpoint_from_json("{not json")
+
+
+def test_restored_execution_cannot_collide_with_live_one(dfms):
+    from repro.errors import DfMSError
+    ack = submit_async(dfms, three_puts())
+
+    def scenario():
+        yield dfms.server.wait(ack.request_id)
+
+    dfms.run(scenario())
+    snapshot = checkpoint_execution(dfms.server, ack.request_id)
+    with pytest.raises(DfMSError, match="already registered"):
+        restore_execution(dfms.server, snapshot)

@@ -1,0 +1,149 @@
+"""Tests for the peer-to-peer DfMS network."""
+
+import pytest
+
+from repro.errors import P2PError
+from repro.dfms import DfMSNetwork, DfMSServer, LookupServer
+from repro.dgl import (
+    DataGridRequest,
+    ExecutionState,
+    FlowStatusQuery,
+    RequestAcknowledgement,
+    flow_builder,
+)
+
+
+@pytest.fixture
+def network(dfms):
+    """Two peers (sdsc + ucsd) behind one lookup server at sdsc."""
+    peer2 = DfMSServer(dfms.env, dfms.dgms, name="matrix-2",
+                       infrastructure=dfms.infrastructure)
+    lookup = LookupServer("lookup-1", "sdsc")
+    lookup.register(dfms.server, "sdsc")
+    lookup.register(peer2, "ucsd")
+    net = DfMSNetwork(dfms.env, dfms.dgms.topology, lookup)
+    return dfms, net, peer2, lookup
+
+
+def sleepy(name="job", duration=10):
+    return (flow_builder(name)
+            .step("s", "dgl.sleep", duration=duration)
+            .build())
+
+
+def request_for(dfms, flow):
+    return DataGridRequest(user=dfms.alice.qualified_name,
+                           virtual_organization="vo", body=flow)
+
+
+def test_lookup_validation():
+    with pytest.raises(P2PError):
+        LookupServer("l", "d", policy="alien")
+    lookup = LookupServer("l", "d")
+    with pytest.raises(P2PError):
+        lookup.select()     # no peers yet
+
+
+def test_duplicate_peer_rejected(network):
+    dfms, net, peer2, lookup = network
+    with pytest.raises(P2PError):
+        lookup.register(peer2, "ucsd")
+
+
+def test_least_loaded_selection_balances(network):
+    dfms, net, peer2, lookup = network
+
+    def scenario():
+        names = []
+        for _ in range(4):
+            response, name = yield from net.submit(
+                request_for(dfms, sleepy(duration=1000)), "sdsc")
+            assert response.body.valid
+            names.append(name)
+        return names
+
+    names = dfms.run(scenario())
+    # Long-running flows pile up, so the lookup alternates peers.
+    assert names == ["matrix-1", "matrix-2", "matrix-1", "matrix-2"]
+
+
+def test_submission_pays_network_latency(network):
+    dfms, net, peer2, lookup = network
+
+    def scenario():
+        yield from net.submit(request_for(dfms, sleepy()), "ucsd")
+        return dfms.env.now
+
+    elapsed = dfms.run(scenario())
+    # ucsd -> lookup(sdsc) round trip + ucsd -> peer round trip.
+    assert elapsed > 0.0
+    assert net.messages_sent == 4
+    assert net.network_seconds == pytest.approx(elapsed)
+
+
+def test_status_query_routes_by_embedded_peer_name(network):
+    dfms, net, peer2, lookup = network
+
+    def scenario():
+        response, served_by = yield from net.submit(
+            request_for(dfms, sleepy(duration=5)), "sdsc")
+        request_id = response.request_id
+        yield dfms.env.timeout(50.0)
+        status_request = DataGridRequest(
+            user=dfms.alice.qualified_name, virtual_organization="vo",
+            body=FlowStatusQuery(request_id=request_id))
+        status_response, answered_by = yield from net.query_status(
+            status_request, "sdsc")
+        return served_by, answered_by, status_response
+
+    served_by, answered_by, response = dfms.run(scenario())
+    assert answered_by == served_by
+    assert response.body.state is ExecutionState.COMPLETED
+
+
+def test_status_query_with_foreign_id_rejected(network):
+    dfms, net, peer2, lookup = network
+    bad = DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=FlowStatusQuery(request_id="no-peer-format"))
+
+    def scenario():
+        yield from net.query_status(bad, "sdsc")
+
+    with pytest.raises(P2PError):
+        dfms.run(scenario())
+
+
+def test_round_robin_lookup_policy(network):
+    dfms, net, peer2, lookup = network
+    lookup.policy = "round_robin"
+
+    def scenario():
+        names = []
+        for _ in range(3):
+            _, name = yield from net.submit(
+                request_for(dfms, sleepy(duration=1)), "sdsc")
+            names.append(name)
+        return names
+
+    assert dfms.run(scenario()) == ["matrix-1", "matrix-2", "matrix-1"]
+
+
+def test_data_locality_prefers_peer_near_collection(network):
+    dfms, net, peer2, lookup = network
+    lookup.policy = "data_locality"
+    # Data lives at ucsd: ingest there.
+    dfms.dgms.create_collection(dfms.alice, "/home/alice/ucsd-data")
+    dfms.put_file("/home/alice/ucsd-data/f.dat", user=dfms.alice,
+                  resource="ucsd-disk")
+    flow = (flow_builder("sweep")
+            .for_each("f", collection="/home/alice/ucsd-data")
+            .step("touch", "srb.set_metadata", path="${f}",
+                  attribute="seen", value=1)
+            .build())
+
+    def scenario():
+        _, name = yield from net.submit(request_for(dfms, flow), "sdsc")
+        return name
+
+    assert dfms.run(scenario()) == "matrix-2"   # the ucsd peer

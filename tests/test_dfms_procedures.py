@@ -1,0 +1,159 @@
+"""Tests for datagrid stored procedures (§2.2)."""
+
+import pytest
+
+from repro.errors import DfMSError
+from repro.dfms import ProcedureParameter, ProcedureRegistry, StoredProcedure
+from repro.dgl import ExecutionState, flow_builder
+from repro.storage import MB
+
+
+def archive_procedure():
+    """archive(path): checksum, tag, replicate to tape."""
+    body = (flow_builder("archive-body")
+            .step("sum", "srb.checksum", assign_to="digest", path="${path}")
+            .step("tag", "srb.set_metadata", path="${path}",
+                  attribute="md5", value="${digest}")
+            .step("copy", "srb.replicate", path="${path}",
+                  resource="${tape}")
+            .build())
+    return StoredProcedure(
+        name="archive", flow=body,
+        parameters=[ProcedureParameter("path"),
+                    ProcedureParameter("tape", default="sdsc-tape",
+                                       required=False)],
+        description="checksum + tag + archive one object")
+
+
+def wait(dfms, response):
+    def go():
+        yield dfms.server.wait(response.request_id)
+
+    dfms.run(go())
+    return dfms.server.status(response.request_id)
+
+
+def test_define_call_and_drop(dfms):
+    registry = ProcedureRegistry(dfms.server)
+    registry.define(archive_procedure())
+    assert registry.names() == ["archive"]
+    dfms.put_file("/home/alice/doc.dat", size=MB)
+    response = registry.call(dfms.alice, "archive",
+                             {"path": "/home/alice/doc.dat"})
+    assert response.body.valid
+    status = wait(dfms, response)
+    assert status.state is ExecutionState.COMPLETED
+    obj = dfms.dgms.namespace.resolve_object("/home/alice/doc.dat")
+    assert obj.metadata.get("md5") == obj.checksum
+    assert any(r.physical_name == "sdsc-tape-1" for r in obj.good_replicas())
+    registry.drop("archive")
+    with pytest.raises(DfMSError):
+        registry.call(dfms.alice, "archive", {"path": "/x"})
+
+
+def test_default_parameters_apply(dfms):
+    registry = ProcedureRegistry(dfms.server)
+    registry.define(archive_procedure())
+    dfms.put_file("/home/alice/a.dat", size=MB)
+    # No "tape" argument: the default resource is used.
+    response = registry.call(dfms.alice, "archive",
+                             {"path": "/home/alice/a.dat"})
+    wait(dfms, response)
+    obj = dfms.dgms.namespace.resolve_object("/home/alice/a.dat")
+    assert any(r.physical_name == "sdsc-tape-1" for r in obj.good_replicas())
+
+
+def test_missing_required_argument_rejected(dfms):
+    registry = ProcedureRegistry(dfms.server)
+    registry.define(archive_procedure())
+    with pytest.raises(DfMSError, match="requires argument 'path'"):
+        registry.call(dfms.alice, "archive", {})
+
+
+def test_unknown_argument_rejected(dfms):
+    registry = ProcedureRegistry(dfms.server)
+    registry.define(archive_procedure())
+    with pytest.raises(DfMSError, match="no parameters"):
+        registry.call(dfms.alice, "archive",
+                      {"path": "/x", "speed": "ludicrous"})
+
+
+def test_duplicate_definitions_rejected(dfms):
+    registry = ProcedureRegistry(dfms.server)
+    registry.define(archive_procedure())
+    with pytest.raises(DfMSError, match="already defined"):
+        registry.define(archive_procedure())
+    with pytest.raises(DfMSError):
+        registry.drop("ghost")
+
+
+def test_duplicate_parameter_names_rejected(dfms):
+    with pytest.raises(DfMSError, match="duplicate parameters"):
+        StoredProcedure(
+            name="bad", flow=flow_builder("f").build(),
+            parameters=[ProcedureParameter("x"), ProcedureParameter("x")])
+
+
+def test_calls_do_not_share_state(dfms):
+    """Each call deep-copies the stored body: concurrent calls with
+    different arguments cannot interfere."""
+    registry = ProcedureRegistry(dfms.server)
+    registry.define(archive_procedure())
+    dfms.put_file("/home/alice/one.dat", size=MB)
+    dfms.put_file("/home/alice/two.dat", size=MB)
+    first = registry.call(dfms.alice, "archive",
+                          {"path": "/home/alice/one.dat"})
+    second = registry.call(dfms.alice, "archive",
+                           {"path": "/home/alice/two.dat"})
+    wait(dfms, first)
+    wait(dfms, second)
+    for name in ("one", "two"):
+        obj = dfms.dgms.namespace.resolve_object(f"/home/alice/{name}.dat")
+        assert any(r.physical_name == "sdsc-tape-1"
+                   for r in obj.good_replicas())
+
+
+def test_server_owns_a_procedure_registry(dfms):
+    assert dfms.server.procedures.names() == []
+    dfms.server.procedures.define(archive_procedure())
+    assert dfms.server.procedures.names() == ["archive"]
+
+
+def test_dgl_call_composes_procedures_inside_flows(dfms):
+    """A flow step invokes a stored procedure and waits for it."""
+    dfms.server.procedures.define(archive_procedure())
+    dfms.put_file("/home/alice/x.dat", size=MB)
+    flow = (flow_builder("composer")
+            .step("invoke", "dgl.call", assign_to="sub_id",
+                  procedure="archive", **{"arg:path": "/home/alice/x.dat"})
+            .step("after", "dgl.log", message="done ${sub_id}")
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.COMPLETED
+    obj = dfms.dgms.namespace.resolve_object("/home/alice/x.dat")
+    assert any(r.physical_name == "sdsc-tape-1" for r in obj.good_replicas())
+    # The log message interpolated the sub-request id.
+    execution = next(e for e in dfms.server.executions()
+                     if e.flow.name == "composer")
+    assert any("done matrix-1.dgr-" in message
+               for _, message in execution.messages)
+
+
+def test_dgl_call_propagates_procedure_failure(dfms):
+    body = flow_builder("boom").step("fail", "dgl.fail",
+                                     message="inner").build()
+    dfms.server.procedures.define(StoredProcedure(name="bad", flow=body))
+    flow = (flow_builder("caller")
+            .step("invoke", "dgl.call", procedure="bad")
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.FAILED
+    assert "'bad'" in response.body.error
+
+
+def test_dgl_call_unknown_procedure_fails_step(dfms):
+    flow = (flow_builder("caller")
+            .step("invoke", "dgl.call", procedure="ghost")
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.FAILED

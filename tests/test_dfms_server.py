@@ -1,0 +1,181 @@
+"""Tests for the DfMS server protocol: acknowledgements, status queries,
+validation, sync vs async, and XML round-trip through the server."""
+
+import pytest
+
+from repro.errors import UnknownRequestError
+from repro.dgl import (
+    DataGridRequest,
+    DataGridResponse,
+    ExecutionState,
+    FlowStatusQuery,
+    RequestAcknowledgement,
+    flow_builder,
+    request_from_xml,
+    request_to_xml,
+)
+
+
+def make_request(dfms, flow, asynchronous=True):
+    return DataGridRequest(user=dfms.alice.qualified_name,
+                           virtual_organization="vo", body=flow,
+                           asynchronous=asynchronous)
+
+
+def sleepy_flow(n=3, duration=10):
+    builder = flow_builder("sleepy")
+    for i in range(n):
+        builder.step(f"s{i}", "dgl.sleep", duration=duration)
+    return builder.build()
+
+
+def test_async_submit_returns_acknowledgement_immediately(dfms):
+    response = dfms.server.submit(make_request(dfms, sleepy_flow()))
+    assert isinstance(response.body, RequestAcknowledgement)
+    assert response.body.valid
+    assert response.request_id.startswith("matrix-1.dgr-")
+    assert dfms.env.now == 0.0          # did not block
+
+
+def test_request_ids_are_unique(dfms):
+    ids = {dfms.server.submit(make_request(dfms, sleepy_flow())).request_id
+           for _ in range(5)}
+    assert len(ids) == 5
+
+
+def test_status_query_at_any_granularity(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow()))
+
+    def scenario():
+        yield dfms.env.timeout(15.0)
+        return dfms.server.submit(DataGridRequest(
+            user=dfms.alice.qualified_name, virtual_organization="vo",
+            body=FlowStatusQuery(request_id=ack.request_id, path="s1")))
+
+    response = scenario()
+    result = dfms.run(response)
+    assert result.body.name == "s1"
+    assert result.body.state is ExecutionState.RUNNING
+
+
+def test_status_query_whole_flow(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow()))
+
+    def scenario():
+        yield dfms.server.wait(ack.request_id)
+
+    dfms.run(scenario())
+    response = dfms.server.submit(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=FlowStatusQuery(request_id=ack.request_id)))
+    assert response.body.state is ExecutionState.COMPLETED
+    assert len(response.body.children) == 3
+
+
+def test_status_query_unknown_request_is_invalid_ack(dfms):
+    response = dfms.server.submit(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=FlowStatusQuery(request_id="matrix-1.dgr-999999")))
+    assert isinstance(response.body, RequestAcknowledgement)
+    assert not response.body.valid
+
+
+def test_status_query_unknown_path_is_invalid_ack(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow()))
+    response = dfms.server.submit(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=FlowStatusQuery(request_id=ack.request_id, path="ghost")))
+    assert not response.body.valid
+
+
+def test_status_response_is_a_snapshot_not_a_live_view(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow()))
+    snapshot = dfms.server.status(ack.request_id)
+
+    def scenario():
+        yield dfms.server.wait(ack.request_id)
+
+    dfms.run(scenario())
+    assert snapshot.state is ExecutionState.PENDING     # frozen
+    assert dfms.server.status(ack.request_id).state is ExecutionState.COMPLETED
+
+
+def test_unknown_operation_rejected_with_invalid_ack(dfms):
+    flow = flow_builder("typo").step("s", "srb.putt", path="/x").build()
+    response = dfms.server.submit(make_request(dfms, flow))
+    assert not response.body.valid
+    assert "srb.putt" in response.body.message
+
+
+def test_unknown_user_rejected(dfms):
+    request = DataGridRequest(user="ghost@nowhere",
+                              virtual_organization="vo",
+                              body=sleepy_flow())
+    response = dfms.server.submit(request)
+    assert not response.body.valid
+    assert "ghost@nowhere" in response.body.message
+
+
+def test_sync_submit_blocks_until_completion(dfms):
+    response = dfms.submit_sync(sleepy_flow(n=2, duration=7))
+    assert dfms.env.now == 14.0
+    assert response.body.state is ExecutionState.COMPLETED
+
+
+def test_sync_submit_of_invalid_document_returns_immediately(dfms):
+    flow = flow_builder("typo").step("s", "no.such.op").build()
+
+    def scenario():
+        response = yield dfms.env.process(dfms.server.submit_sync(
+            make_request(dfms, flow)))
+        return response
+
+    response = dfms.run(scenario())
+    assert not response.body.valid
+    assert dfms.env.now == 0.0
+
+
+def test_request_survives_xml_round_trip_through_server(dfms):
+    request = make_request(dfms, sleepy_flow(n=2, duration=1))
+    wire = request_to_xml(request)
+    received = request_from_xml(wire)
+
+    def scenario():
+        response = yield dfms.env.process(dfms.server.submit_sync(received))
+        return response
+
+    response = dfms.run(scenario())
+    assert response.body.state is ExecutionState.COMPLETED
+
+
+def test_programmatic_lookups_raise_for_unknown_ids(dfms):
+    with pytest.raises(UnknownRequestError):
+        dfms.server.status("nope")
+    with pytest.raises(UnknownRequestError):
+        dfms.server.execution("nope")
+    with pytest.raises(UnknownRequestError):
+        dfms.server.request_document("nope")
+
+
+def test_running_count_tracks_live_executions(dfms):
+    assert dfms.server.running_count == 0
+    ack1 = dfms.server.submit(make_request(dfms, sleepy_flow()))
+    dfms.server.submit(make_request(dfms, sleepy_flow()))
+    assert dfms.server.running_count == 2
+
+    def scenario():
+        yield dfms.server.wait(ack1.request_id)
+
+    dfms.run(scenario())
+    assert dfms.server.running_count == 0
+
+
+def test_wait_on_already_finished_execution(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow(n=1, duration=1)))
+
+    def scenario():
+        yield dfms.server.wait(ack.request_id)
+        yield dfms.server.wait(ack.request_id)   # second wait also fine
+        return dfms.env.now
+
+    assert dfms.run(scenario()) == 1.0

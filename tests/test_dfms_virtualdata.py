@@ -1,0 +1,93 @@
+"""Tests for the virtual-data (derivation) catalog and its exec integration."""
+
+import pytest
+
+from repro.dfms.virtualdata import VirtualDataCatalog
+from repro.dgl import ExecutionState, flow_builder
+from repro.storage import MB
+
+
+def test_lookup_miss_then_hit(dfms):
+    dfms.put_file("/home/alice/in.dat", size=MB)
+    catalog = VirtualDataCatalog(dfms.dgms)
+    assert catalog.lookup("transform", ["/home/alice/in.dat"]) is None
+    dfms.put_file("/home/alice/out.dat", size=MB)
+    catalog.record("transform", ["/home/alice/in.dat"],
+                   "/home/alice/out.dat")
+    assert catalog.lookup("transform",
+                          ["/home/alice/in.dat"]) == "/home/alice/out.dat"
+    assert catalog.hits == 1
+    assert catalog.misses == 1
+    assert len(catalog) == 1
+
+
+def test_input_version_change_invalidates(dfms):
+    dfms.put_file("/home/alice/in.dat", size=MB)
+    dfms.put_file("/home/alice/out.dat", size=MB)
+    catalog = VirtualDataCatalog(dfms.dgms)
+    catalog.record("transform", ["/home/alice/in.dat"], "/home/alice/out.dat")
+
+    def overwrite():
+        yield dfms.dgms.overwrite(dfms.alice, "/home/alice/in.dat", 2 * MB)
+
+    dfms.run(overwrite())
+    assert catalog.lookup("transform", ["/home/alice/in.dat"]) is None
+
+
+def test_deleted_output_invalidates(dfms):
+    dfms.put_file("/home/alice/in.dat", size=MB)
+    dfms.put_file("/home/alice/out.dat", size=MB)
+    catalog = VirtualDataCatalog(dfms.dgms)
+    catalog.record("transform", ["/home/alice/in.dat"], "/home/alice/out.dat")
+
+    def delete():
+        yield dfms.dgms.delete(dfms.alice, "/home/alice/out.dat")
+
+    dfms.run(delete())
+    assert catalog.lookup("transform", ["/home/alice/in.dat"]) is None
+    assert len(catalog) == 0     # dropped on discovery
+
+
+def test_parameters_distinguish_derivations(dfms):
+    dfms.put_file("/home/alice/in.dat", size=MB)
+    dfms.put_file("/home/alice/out.dat", size=MB)
+    catalog = VirtualDataCatalog(dfms.dgms)
+    catalog.record("transform", ["/home/alice/in.dat"], "/home/alice/out.dat",
+                   parameters={"bin": 5})
+    assert catalog.lookup("transform", ["/home/alice/in.dat"],
+                          parameters={"bin": 9}) is None
+    assert catalog.lookup("transform", ["/home/alice/in.dat"],
+                          parameters={"bin": 5}) == "/home/alice/out.dat"
+
+
+def test_missing_input_is_a_miss(dfms):
+    catalog = VirtualDataCatalog(dfms.dgms)
+    assert catalog.lookup("transform", ["/home/alice/ghost.dat"]) is None
+    assert catalog.misses == 1
+
+
+def test_exec_skips_recomputation_via_catalog(dfms):
+    dfms.put_file("/home/alice/raw.dat", size=10 * MB)
+    derive = (flow_builder("derive")
+              .step("t", "exec", duration=100,
+                    transformation="calibrate",
+                    inputs="/home/alice/raw.dat",
+                    output_path="/home/alice/calibrated.dat",
+                    output_size=float(5 * MB),
+                    output_resource="sdsc-disk")
+              .build())
+    first = dfms.submit_sync(derive)
+    assert first.body.state is ExecutionState.COMPLETED
+    first_elapsed = dfms.env.now
+    assert first_elapsed >= 100.0 / 2.0   # paid the compute (speed 2.0)
+
+    before_second = dfms.env.now
+    second = dfms.submit_sync(derive)
+    assert second.body.state is ExecutionState.COMPLETED
+    # Virtual-data hit: no staging, no compute, no output write.
+    assert dfms.env.now == before_second
+    assert dfms.server.virtual_data.hits == 1
+    # The execution logged the hit.
+    execution = dfms.server.executions()[-1]
+    assert any("virtual data hit" in message
+               for _, message in execution.messages)

@@ -1,0 +1,162 @@
+"""Unit tests for the DGL document object model."""
+
+import pytest
+
+from repro.errors import DGLValidationError
+from repro.dgl import (
+    Action,
+    DataGridRequest,
+    ExecutionState,
+    Flow,
+    FlowLogic,
+    FlowStatus,
+    FlowStatusQuery,
+    ForEach,
+    Operation,
+    Parallel,
+    Repeat,
+    Sequential,
+    Step,
+    SwitchCase,
+    UserDefinedRule,
+    Variable,
+    WhileLoop,
+)
+
+
+def step(name="s", op="noop"):
+    return Step(name=name, operation=Operation(name=op))
+
+
+# -- building blocks ----------------------------------------------------------
+
+def test_variable_name_must_be_identifier():
+    Variable("ok_name", 1)
+    with pytest.raises(DGLValidationError):
+        Variable("not-ok", 1)
+
+
+def test_operation_validation():
+    with pytest.raises(DGLValidationError):
+        Operation(name="")
+    with pytest.raises(DGLValidationError):
+        Operation(name="x", assign_to="bad-name")
+
+
+def test_rule_needs_actions_with_unique_names():
+    action = Action("go", Operation("noop"))
+    UserDefinedRule(name="r", condition="true", actions=[action])
+    with pytest.raises(DGLValidationError):
+        UserDefinedRule(name="r", condition="true", actions=[])
+    with pytest.raises(DGLValidationError):
+        UserDefinedRule(name="r", condition="true",
+                        actions=[action, Action("go", Operation("noop"))])
+
+
+# -- control patterns ----------------------------------------------------------
+
+def test_while_needs_condition():
+    with pytest.raises(DGLValidationError):
+        WhileLoop(condition="   ")
+
+
+def test_parallel_bound_validation():
+    Parallel(max_concurrent=4)
+    with pytest.raises(DGLValidationError):
+        Parallel(max_concurrent=-1)
+
+
+def test_foreach_source_exclusivity():
+    ForEach(item_variable="f", collection="/data")
+    ForEach(item_variable="f", items="[1, 2]")
+    with pytest.raises(DGLValidationError):
+        ForEach(item_variable="f")                        # neither
+    with pytest.raises(DGLValidationError):
+        ForEach(item_variable="f", collection="/d", items="[1]")  # both
+    with pytest.raises(DGLValidationError):
+        ForEach(item_variable="f", query="size > 1")      # query w/o collection
+    with pytest.raises(DGLValidationError):
+        ForEach(item_variable="not an id", collection="/d")
+
+
+def test_flowlogic_rejects_unknown_pattern_and_dup_rules():
+    with pytest.raises(DGLValidationError):
+        FlowLogic(pattern="sequential")     # type: ignore[arg-type]
+    rule = UserDefinedRule("r", "true", [Action("a", Operation("noop"))])
+    with pytest.raises(DGLValidationError):
+        FlowLogic(rules=[rule, rule])
+
+
+def test_flowlogic_rule_lookup():
+    rule = UserDefinedRule("beforeEntry", "true",
+                           [Action("a", Operation("noop"))])
+    logic = FlowLogic(rules=[rule])
+    assert logic.rule("beforeEntry") is rule
+    assert logic.rule("missing") is None
+
+
+# -- flows ------------------------------------------------------------------
+
+def test_flow_children_must_be_homogeneous():
+    Flow(name="ok-steps", children=[step("a"), step("b")])
+    Flow(name="ok-flows", children=[Flow(name="x"), Flow(name="y")])
+    with pytest.raises(DGLValidationError, match="mixes"):
+        Flow(name="bad", children=[step("a"), Flow(name="x")])
+
+
+def test_flow_child_names_unique():
+    with pytest.raises(DGLValidationError, match="duplicate"):
+        Flow(name="bad", children=[step("a"), step("a")])
+
+
+def test_flow_child_lookup():
+    flow = Flow(name="f", children=[step("a"), step("b")])
+    assert flow.child("b").name == "b"
+    assert flow.child("z") is None
+
+
+def test_count_steps_and_depth():
+    inner = Flow(name="inner", children=[step("a"), step("b")])
+    outer = Flow(name="outer", children=[inner, Flow(name="empty")])
+    assert outer.count_steps() == 2
+    assert outer.depth() == 2
+    assert Flow(name="leaf").depth() == 1
+    assert Flow(name="steps", children=[step()]).depth() == 1
+
+
+# -- requests / responses --------------------------------------------------------
+
+def test_request_body_discrimination():
+    flow_request = DataGridRequest(user="alice@sdsc", virtual_organization="vo",
+                                   body=Flow(name="f"))
+    query_request = DataGridRequest(user="alice@sdsc", virtual_organization="vo",
+                                    body=FlowStatusQuery(request_id="dgr-1"))
+    assert not flow_request.is_status_query
+    assert query_request.is_status_query
+
+
+def test_status_query_needs_request_id():
+    with pytest.raises(DGLValidationError):
+        FlowStatusQuery(request_id="")
+
+
+def test_execution_state_terminality():
+    assert ExecutionState.COMPLETED.is_terminal
+    assert ExecutionState.FAILED.is_terminal
+    assert ExecutionState.CANCELLED.is_terminal
+    assert not ExecutionState.RUNNING.is_terminal
+    assert not ExecutionState.PAUSED.is_terminal
+
+
+def test_flow_status_find_by_path():
+    tree = FlowStatus(name="root", state=ExecutionState.RUNNING, children=[
+        FlowStatus(name="stage1", state=ExecutionState.COMPLETED, children=[
+            FlowStatus(name="copy", state=ExecutionState.COMPLETED),
+        ]),
+        FlowStatus(name="stage2", state=ExecutionState.PENDING),
+    ])
+    assert tree.find("") is tree
+    assert tree.find("stage1/copy").state is ExecutionState.COMPLETED
+    assert tree.find("stage2").state is ExecutionState.PENDING
+    assert tree.find("stage1/missing") is None
+    assert tree.find("nope") is None

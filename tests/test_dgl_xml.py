@@ -1,0 +1,191 @@
+"""Round-trip and error tests for DGL XML serialization."""
+
+import pytest
+
+from repro.errors import DGLParseError
+from repro.dgl import (
+    Action,
+    DataGridRequest,
+    DataGridResponse,
+    DocumentMetadata,
+    ExecutionState,
+    Flow,
+    FlowLogic,
+    FlowStatus,
+    FlowStatusQuery,
+    ForEach,
+    Operation,
+    Parallel,
+    Repeat,
+    RequestAcknowledgement,
+    Sequential,
+    Step,
+    SwitchCase,
+    UserDefinedRule,
+    Variable,
+    WhileLoop,
+    from_xml,
+    request_from_xml,
+    request_to_xml,
+    response_from_xml,
+    response_to_xml,
+)
+
+
+def rich_flow():
+    """A flow exercising every control pattern and element kind."""
+    rule = UserDefinedRule(
+        name="beforeEntry",
+        condition="'notify' if count > 0 else 'skip'",
+        actions=[
+            Action("notify", Operation("dgl.log", {"message": "starting"})),
+            Action("skip", Operation("dgl.noop")),
+        ])
+    inner_steps = Flow(
+        name="work",
+        logic=FlowLogic(pattern=Parallel(max_concurrent=4)),
+        children=[
+            Step(name="copy",
+                 operation=Operation("srb.replicate",
+                                     {"path": "${f}", "resource": "tape"},
+                                     assign_to="replica"),
+                 variables=[Variable("retries", 3)],
+                 requirements={"resourceType": "archive", "min_free_gb": 10}),
+            Step(name="mark",
+                 operation=Operation("srb.set_metadata",
+                                     {"path": "${f}", "attribute": "stage",
+                                      "value": "archived"})),
+        ])
+    loop = Flow(
+        name="per-file",
+        logic=FlowLogic(pattern=ForEach(item_variable="f",
+                                        collection="/ingest",
+                                        query="meta:stage = 'raw'")),
+        children=[inner_steps])
+    chooser = Flow(
+        name="choose",
+        logic=FlowLogic(pattern=SwitchCase(expression="mode", default="small")),
+        children=[Flow(name="small"), Flow(name="large")])
+    return Flow(
+        name="archive-job",
+        logic=FlowLogic(pattern=Sequential(), rules=[rule]),
+        variables=[Variable("count", 0), Variable("label", "nightly"),
+                   Variable("ratio", 0.5), Variable("nothing", None)],
+        children=[loop, chooser,
+                  Flow(name="again",
+                       logic=FlowLogic(pattern=Repeat(count=3))),
+                  Flow(name="until",
+                       logic=FlowLogic(pattern=WhileLoop(condition="count < 5")))])
+
+
+def test_flow_request_round_trip():
+    request = DataGridRequest(
+        user="alice@sdsc", virtual_organization="scec",
+        body=rich_flow(),
+        metadata=DocumentMetadata(document_id="doc-1", created_at=12.5,
+                                  description="integration"),
+        asynchronous=True)
+    assert request_from_xml(request_to_xml(request)) == request
+
+
+def test_status_query_round_trip():
+    request = DataGridRequest(
+        user="bob@ucsd", virtual_organization="",
+        body=FlowStatusQuery(request_id="dgr-000007", path="stage1/copy"))
+    assert request_from_xml(request_to_xml(request)) == request
+
+
+def test_acknowledgement_response_round_trip():
+    response = DataGridResponse(
+        request_id="dgr-000001",
+        body=RequestAcknowledgement(request_id="dgr-000001",
+                                    state=ExecutionState.PENDING,
+                                    valid=True, message="accepted"))
+    assert response_from_xml(response_to_xml(response)) == response
+
+
+def test_status_response_round_trip():
+    status = FlowStatus(
+        name="root", state=ExecutionState.RUNNING, started_at=1.0,
+        iterations=2,
+        children=[FlowStatus(name="s1", state=ExecutionState.COMPLETED,
+                             started_at=1.0, finished_at=2.0),
+                  FlowStatus(name="s2", state=ExecutionState.FAILED,
+                             error="disk offline")])
+    response = DataGridResponse(request_id="dgr-9", body=status)
+    assert response_from_xml(response_to_xml(response)) == response
+
+
+def test_value_types_survive_round_trip():
+    flow = Flow(name="f", variables=[
+        Variable("i", 3), Variable("x", 2.5),
+        Variable("s", "3"), Variable("n", None)])
+    request = DataGridRequest(user="u@d", virtual_organization="", body=flow)
+    parsed = request_from_xml(request_to_xml(request)).body
+    values = {v.name: v.value for v in parsed.variables}
+    assert values == {"i": 3, "x": 2.5, "s": "3", "n": None}
+    assert isinstance(values["i"], int)
+    assert isinstance(values["x"], float)
+    assert isinstance(values["s"], str)
+
+
+def test_from_xml_dispatches_on_root():
+    request = DataGridRequest(user="u@d", virtual_organization="",
+                              body=Flow(name="f"))
+    response = DataGridResponse(
+        request_id="r", body=RequestAcknowledgement(
+            request_id="r", state=ExecutionState.PENDING))
+    assert isinstance(from_xml(request_to_xml(request)), DataGridRequest)
+    assert isinstance(from_xml(response_to_xml(response)), DataGridResponse)
+    with pytest.raises(DGLParseError):
+        from_xml("<unrelated/>")
+
+
+def test_malformed_xml_reports_parse_error():
+    with pytest.raises(DGLParseError, match="malformed"):
+        request_from_xml("<dataGridRequest><unclosed>")
+
+
+def test_request_requires_user_and_single_body():
+    with pytest.raises(DGLParseError, match="gridUser"):
+        request_from_xml("<dataGridRequest><flow name='f'/></dataGridRequest>")
+    with pytest.raises(DGLParseError, match="exactly one"):
+        request_from_xml(
+            "<dataGridRequest><gridUser>u</gridUser></dataGridRequest>")
+    with pytest.raises(DGLParseError, match="exactly one"):
+        request_from_xml(
+            "<dataGridRequest><gridUser>u</gridUser>"
+            "<flow name='f'/><flowStatusQuery requestId='r'/>"
+            "</dataGridRequest>")
+
+
+def test_step_requires_operation():
+    text = ("<dataGridRequest><gridUser>u</gridUser>"
+            "<flow name='f'><children><step name='s'/></children></flow>"
+            "</dataGridRequest>")
+    with pytest.raises(DGLParseError, match="operation"):
+        request_from_xml(text)
+
+
+def test_two_patterns_rejected():
+    text = ("<dataGridRequest><gridUser>u</gridUser>"
+            "<flow name='f'><flowLogic><sequential/><parallel/></flowLogic>"
+            "</flow></dataGridRequest>")
+    with pytest.raises(DGLParseError, match="more than one"):
+        request_from_xml(text)
+
+
+def test_missing_flowlogic_defaults_to_sequential():
+    text = ("<dataGridRequest><gridUser>u</gridUser>"
+            "<flow name='f'/></dataGridRequest>")
+    parsed = request_from_xml(text)
+    assert isinstance(parsed.body.logic.pattern, Sequential)
+
+
+def test_xml_is_indented_and_human_readable():
+    request = DataGridRequest(user="u@d", virtual_organization="vo",
+                              body=rich_flow())
+    text = request_to_xml(request)
+    assert "\n  " in text
+    assert "<flowLogic>" in text
+    assert "userDefinedRule" in text

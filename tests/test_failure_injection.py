@@ -1,0 +1,174 @@
+"""Failure-injection tests: faults driven through the full stack.
+
+The long-run-process requirements of §2.1 (restartability, fault handling
+in the execution logic) only mean something if faults actually occur;
+these tests inject deterministic storage failures and infrastructure
+churn and check the stack's behaviour end to end.
+"""
+
+import pytest
+
+from repro.dgl import (
+    Action,
+    ExecutionState,
+    Operation,
+    Step,
+    UserDefinedRule,
+    flow_builder,
+)
+from repro.errors import StorageFailure
+from repro.storage import FailureInjector, MB
+
+
+def test_failed_put_leaves_no_orphan_namespace_entry(grid):
+    grid.sdsc_disk.failures = FailureInjector(fail_ops=[1])
+
+    def go():
+        yield grid.dgms.put(grid.alice, "/home/alice/doomed.dat", MB,
+                            "sdsc-disk")
+
+    with pytest.raises(StorageFailure):
+        grid.run(go())
+    assert not grid.dgms.namespace.exists("/home/alice/doomed.dat")
+    assert grid.sdsc_disk.used_bytes == 0
+
+
+def test_failed_replicate_leaves_object_unchanged(grid):
+    obj = grid.put_file("/home/alice/stable.dat", size=MB)
+    grid.ucsd_disk.failures = FailureInjector(fail_ops=[1])
+
+    def go():
+        yield grid.dgms.replicate(grid.alice, "/home/alice/stable.dat",
+                                  "ucsd-disk")
+
+    with pytest.raises(StorageFailure):
+        grid.run(go())
+    assert len(obj.good_replicas()) == 1
+    assert grid.ucsd_disk.used_bytes == 0
+
+
+def test_failed_migrate_delete_leaves_two_good_replicas(grid):
+    """Non-transactional by design (§2.2): if the source delete fails after
+    the target write succeeded, the object ends with an extra copy — safe,
+    never lossy."""
+    obj = grid.put_file("/home/alice/m.dat", size=MB)
+    # Ops on sdsc_disk during migrate: read (1), then delete (2).
+    grid.sdsc_disk.failures = FailureInjector(fail_ops=[2])
+
+    def go():
+        yield grid.dgms.migrate(grid.alice, "/home/alice/m.dat",
+                                "sdsc-disk-1", "sdsc-tape")
+
+    with pytest.raises(StorageFailure):
+        grid.run(go())
+    assert len(obj.good_replicas()) == 2       # old + new both intact
+    assert grid.sdsc_tape.used_bytes == MB
+
+
+def test_step_failure_surfaces_injected_fault(dfms):
+    dfms.sdsc_disk.failures = FailureInjector(fail_ops=[1])
+    flow = (flow_builder("ingest")
+            .step("put", "srb.put", path="/home/alice/f.dat", size=MB,
+                  resource="sdsc-disk")
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.FAILED
+    assert "injected fault" in response.body.error
+
+
+def test_on_error_retry_recovers_from_transient_storage_fault(dfms):
+    """The §2.3 fault-handling requirement: a transient fault on the first
+    attempt, a retry in the execution logic, success on the second."""
+    dfms.sdsc_disk.failures = FailureInjector(fail_ops=[1])
+    step = Step(
+        name="put",
+        operation=Operation("srb.put",
+                            {"path": "/home/alice/f.dat", "size": MB,
+                             "resource": "sdsc-disk"}),
+        rules=[UserDefinedRule(
+            name="onError", condition="true",
+            actions=[Action("retry",
+                            Operation("dgl.retry", {"max": 3}))])])
+    response = dfms.submit_sync(flow_builder("resilient").add_step(step)
+                                .build())
+    assert response.body.state is ExecutionState.COMPLETED
+    assert dfms.dgms.namespace.exists("/home/alice/f.dat")
+    assert dfms.sdsc_disk.failures.failures_injected == 1
+
+
+def test_probabilistic_faults_with_retries_complete_campaign(dfms):
+    """A whole campaign over flaky storage: every step retries, the
+    campaign completes, and the data all lands."""
+    from repro.sim import RandomStreams
+    dfms.sdsc_disk.failures = FailureInjector(
+        probability=0.3, rng=RandomStreams(13).stream("flaky"))
+    builder = flow_builder("campaign")
+    for index in range(10):
+        builder.add_step(Step(
+            name=f"put-{index}",
+            operation=Operation("srb.put",
+                                {"path": f"/home/alice/c{index}.dat",
+                                 "size": MB, "resource": "sdsc-disk"}),
+            rules=[UserDefinedRule(
+                name="onError", condition="true",
+                actions=[Action("retry",
+                                Operation("dgl.retry", {"max": 10}))])]))
+    response = dfms.submit_sync(builder.build())
+    assert response.body.state is ExecutionState.COMPLETED
+    for index in range(10):
+        assert dfms.dgms.namespace.exists(f"/home/alice/c{index}.dat")
+    assert dfms.sdsc_disk.failures.failures_injected > 0
+
+
+def test_offline_storage_fails_ilm_pass_but_restart_completes(dfms):
+    """Storage outage mid-pass: the pass fails; after the outage a fresh
+    pass finishes the remainder (ILM passes are idempotent)."""
+    from repro.ilm import ILMManager, ILMPolicy, PlacementRule
+    for index in range(3):
+        dfms.put_file(f"/home/alice/f{index}.dat", size=MB)
+    policy = ILMPolicy(
+        name="mirror", collection="/home/alice", domain="ucsd",
+        rules=[PlacementRule("mirror", "replica_count < 2",
+                             "replicate_to", "ucsd-disk")])
+    manager = ILMManager(dfms.server)
+    manager.add_policy(policy)
+    dfms.ucsd_disk.online = False
+
+    def failing_pass():
+        status = yield from manager.run_pass_sync("mirror", dfms.alice)
+        return status
+
+    status = dfms.run(failing_pass())
+    assert status.state is ExecutionState.FAILED
+
+    dfms.ucsd_disk.online = True
+    status = dfms.run(failing_pass())
+    assert status.state is ExecutionState.COMPLETED
+    for index in range(3):
+        obj = dfms.dgms.namespace.resolve_object(f"/home/alice/f{index}.dat")
+        assert len(obj.good_replicas()) == 2
+
+
+def test_p2p_failover_skips_dead_peer(dfms):
+    from repro.dfms import DfMSNetwork, DfMSServer, LookupServer
+    from repro.errors import P2PError
+    peer2 = DfMSServer(dfms.env, dfms.dgms, name="matrix-2")
+    lookup = LookupServer("lookup", "sdsc")
+    lookup.register(dfms.server, "sdsc")
+    lookup.register(peer2, "ucsd")
+    network = DfMSNetwork(dfms.env, dfms.dgms.topology, lookup)
+    dfms.server.online = False     # primary dies
+
+    def submit():
+        flow = flow_builder("job").step("s", "dgl.sleep", duration=1).build()
+        from repro.dgl import DataGridRequest
+        response, name = yield from network.submit(
+            DataGridRequest(user=dfms.alice.qualified_name,
+                            virtual_organization="vo", body=flow,
+                            asynchronous=True), "sdsc")
+        return name
+
+    assert dfms.run(submit()) == "matrix-2"
+    peer2.online = False
+    with pytest.raises(P2PError, match="no live peers"):
+        dfms.run(submit())

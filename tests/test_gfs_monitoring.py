@@ -1,0 +1,218 @@
+"""Tests for the Grid File System facade and the execution monitor."""
+
+import pytest
+
+from repro.errors import NamespaceError, PermissionDenied
+from repro.dfms import ExecutionMonitor
+from repro.dgl import DataGridRequest, ExecutionState, flow_builder
+from repro.grid import GridFileSystem, Permission
+from repro.storage import MB
+
+
+@pytest.fixture
+def gfs(grid):
+    return GridFileSystem(grid.dgms, grid.alice,
+                          default_resource="sdsc-disk"), grid
+
+
+# -- GFS ----------------------------------------------------------------
+
+def test_mkdir_listdir_rmdir(gfs):
+    fs, grid = gfs
+    fs.mkdir("/home/alice/projects")
+    fs.mkdir("/home/alice/projects/deep/nested", parents=True)
+    assert "projects" in fs.listdir("/home/alice")
+    assert fs.listdir("/home/alice/projects") == ["deep"]
+    fs.rmdir("/home/alice/projects/deep/nested")
+    assert fs.listdir("/home/alice/projects/deep") == []
+
+
+def test_write_read_remove_file(gfs):
+    fs, grid = gfs
+
+    def scenario():
+        yield fs.write_file("/home/alice/report.dat", 5 * MB)
+        assert fs.isfile("/home/alice/report.dat")
+        yield fs.read_file("/home/alice/report.dat")
+        yield fs.remove("/home/alice/report.dat")
+
+    grid.run(scenario())
+    assert not fs.exists("/home/alice/report.dat")
+
+
+def test_stat_file_and_directory(gfs):
+    fs, grid = gfs
+
+    def scenario():
+        yield fs.write_file("/home/alice/f.dat", 2 * MB)
+
+    grid.run(scenario())
+    stat = fs.stat("/home/alice/f.dat")
+    assert not stat.is_dir
+    assert stat.size == 2 * MB
+    assert stat.replica_count == 1
+    assert stat.owner == "alice@sdsc"
+    dir_stat = fs.stat("/home/alice")
+    assert dir_stat.is_dir
+    assert dir_stat.size == 0.0
+
+
+def test_rename_is_logical(gfs):
+    fs, grid = gfs
+
+    def scenario():
+        yield fs.write_file("/home/alice/old.dat", MB)
+
+    grid.run(scenario())
+    fs.rename("/home/alice/old.dat", "/home/alice/new.dat")
+    assert fs.isfile("/home/alice/new.dat")
+    assert not fs.exists("/home/alice/old.dat")
+
+
+def test_glob(gfs):
+    fs, grid = gfs
+    fs.mkdir("/home/alice/sub")
+
+    def scenario():
+        yield fs.write_file("/home/alice/a.dat", MB)
+        yield fs.write_file("/home/alice/b.txt", MB)
+        yield fs.write_file("/home/alice/sub/c.dat", MB)
+
+    grid.run(scenario())
+    assert fs.glob("/home/alice", "*.dat") == ["/home/alice/a.dat"]
+    assert fs.glob("/home/alice", "*.dat", recursive=True) == [
+        "/home/alice/a.dat", "/home/alice/sub/c.dat"]
+
+
+def test_xattrs(gfs):
+    fs, grid = gfs
+
+    def scenario():
+        yield fs.write_file("/home/alice/f.dat", MB)
+
+    grid.run(scenario())
+    fs.setxattr("/home/alice/f.dat", "project", "scec")
+    fs.setxattr("/home/alice/f.dat", "priority", 5)
+    assert fs.getxattr("/home/alice/f.dat", "project") == "scec"
+    assert fs.getxattr("/home/alice/f.dat", "missing", "dflt") == "dflt"
+    assert fs.listxattr("/home/alice/f.dat") == ["priority", "project"]
+
+
+def test_gfs_enforces_permissions(grid):
+    bob_fs = GridFileSystem(grid.dgms, grid.bob,
+                            default_resource="ucsd-disk")
+    grid.put_file("/home/alice/private.dat", size=MB)
+    with pytest.raises(PermissionDenied):
+        bob_fs.stat("/home/alice/private.dat")
+    with pytest.raises(PermissionDenied):
+        bob_fs.rmdir("/home/alice")
+    assert not bob_fs.isdir("/missing")
+    assert not bob_fs.isfile("/missing")
+
+
+# -- execution monitor ----------------------------------------------------------
+
+def slow_flow(name="watched"):
+    return (flow_builder(name)
+            .step("a", "dgl.sleep", duration=5)
+            .step("b", "dgl.sleep", duration=5)
+            .build())
+
+
+def submit(dfms, flow):
+    return dfms.server.submit(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=flow))
+
+
+def test_watch_receives_filtered_events(dfms):
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+    submit(dfms, slow_flow("other"))
+    received = []
+    monitor.watch(received.append, request_id=ack.request_id,
+                  kind="step_completed")
+    dfms.env.run()
+    assert [event.instance_key for event in received] == ["a", "b"]
+    assert all(event.request_id == ack.request_id for event in received)
+
+
+def test_watch_unsubscribe(dfms):
+    monitor = ExecutionMonitor(dfms.server)
+    received = []
+    unsubscribe = monitor.watch(received.append, kind="step_completed")
+    unsubscribe()
+    submit(dfms, slow_flow())
+    dfms.env.run()
+    assert received == []
+
+
+def test_watch_key_prefix_filters_subtree(dfms):
+    inner = flow_builder("stage").step("deep", "dgl.sleep", duration=1)
+    flow = (flow_builder("outer")
+            .subflow(inner)
+            .build())
+    monitor = ExecutionMonitor(dfms.server)
+    received = []
+    monitor.watch(received.append, kind="step_completed",
+                  key_prefix="stage/")
+    submit(dfms, flow)
+    dfms.env.run()
+    assert [event.instance_key for event in received] == ["stage/deep"]
+
+
+def test_wait_for_step_coordinates_processes(dfms):
+    """Another process blocks until a specific step completes (§2.1's
+    monitor-any-step API)."""
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+
+    def waiter():
+        event = yield monitor.wait_for(ack.request_id, "a")
+        return dfms.env.now, event.instance_key
+
+    now, key = dfms.run(waiter())
+    assert now == 5.0       # woke exactly when step a finished
+    assert key == "a"
+
+
+def test_wait_for_already_completed_triggers_immediately(dfms):
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+    dfms.env.run()
+
+    def waiter():
+        event = yield monitor.wait_for(ack.request_id, "a")
+        return event.kind
+
+    assert dfms.run(waiter()) == "already"
+
+
+def test_wait_for_execution_completion(dfms):
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+
+    def waiter():
+        yield monitor.wait_for(ack.request_id, "",
+                               state=ExecutionState.COMPLETED)
+        return dfms.env.now
+
+    assert dfms.run(waiter()) == 10.0
+
+
+def test_wait_for_matches_loop_iterations(dfms):
+    flow = (flow_builder("loop")
+            .repeat(3)
+            .step("tick", "dgl.sleep", duration=2)
+            .build())
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, flow)
+
+    def waiter():
+        event = yield monitor.wait_for(ack.request_id, "loop/tick",
+                                       state=ExecutionState.COMPLETED)
+        return dfms.env.now, event.instance_key
+
+    now, key = dfms.run(waiter())
+    assert now == 2.0               # the first iteration's completion
+    assert key == "loop[0]/tick"

@@ -1,0 +1,169 @@
+"""The grand tour: one scenario through every subsystem.
+
+A digital-library accession lifecycle that exercises, in one run:
+triggers (auto-metadata on ingest), a stored procedure (the integrity
+pipeline), monitoring (a coordinator waits on a step), pause + checkpoint
++ server restart + journal-replayed recovery, windowed ILM tiering,
+provenance across all of it, and finally a federation export — asserting
+cross-subsystem consistency at the end.
+"""
+
+import pytest
+
+from repro.dfms import (
+    DfMSServer,
+    ExecutionMonitor,
+    ProcedureParameter,
+    StoredProcedure,
+    checkpoint_execution,
+    checkpoint_from_json,
+    checkpoint_to_json,
+    restore_execution,
+)
+from repro.dgl import DataGridRequest, ExecutionState, flow_builder
+from repro.grid import EventKind, Federation, Permission
+from repro.ilm import ILMManager, imploding_star_policy
+from repro.provenance import ProvenanceStore, attach_to_dgms, attach_to_server
+from repro.sim import SECONDS_PER_DAY
+from repro.storage import MB
+from repro.triggers import DatagridTrigger, TriggerManager
+
+DAY = SECONDS_PER_DAY
+N_ITEMS = 4
+
+
+def test_grand_tour(dfms):
+    provenance = ProvenanceStore()
+    attach_to_dgms(provenance, dfms.dgms)
+    attach_to_server(provenance, dfms.server)
+    monitor = ExecutionMonitor(dfms.server)
+
+    # 1. Trigger: every ingested item is stamped with its ingestion epoch.
+    triggers = TriggerManager(dfms.dgms, dfms.server)
+    triggers.register(DatagridTrigger(
+        name="stamp", owner=dfms.alice,
+        kinds=frozenset({EventKind.INSERT}),
+        path_pattern="/home/alice/accession/*",
+        action=(flow_builder("stamp")
+                .step("tag", "srb.set_metadata", path="${event_path}",
+                      attribute="accessioned", value=1)
+                .build())))
+
+    # 2. Stored procedure: the integrity pipeline.
+    dfms.server.procedures.define(StoredProcedure(
+        name="verify", parameters=[ProcedureParameter("path")],
+        flow=(flow_builder("verify-body")
+              .step("sum", "srb.checksum", assign_to="digest",
+                    path="${path}")
+              .step("tag", "srb.set_metadata", path="${path}",
+                    attribute="md5", value="${digest}")
+              .build())))
+
+    # 3. The accession flow: ingest, then verify each item via dgl.call.
+    dfms.dgms.create_collection(dfms.alice, "/home/alice/accession")
+    builder = flow_builder("accession")
+    for index in range(N_ITEMS):
+        builder.step(f"ingest-{index}", "srb.put",
+                     path=f"/home/alice/accession/item-{index}.dat",
+                     size=float((index + 1) * MB), resource="sdsc-disk")
+        builder.step(f"verify-{index}", "dgl.call", procedure="verify",
+                     **{"arg:path":
+                        f"/home/alice/accession/item-{index}.dat"})
+    ack = dfms.server.submit(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="library",
+        body=builder.build()))
+    assert ack.body.valid
+
+    # 4. A coordinator waits for item 1's verification, then pauses the
+    #    run mid-flight and checkpoints it.
+    def coordinate():
+        yield monitor.wait_for(ack.request_id, "verify-1")
+        dfms.server.pause(ack.request_id)
+        yield dfms.env.timeout(60.0)     # quiesce
+        snapshot = checkpoint_execution(dfms.server, ack.request_id)
+        dfms.server.cancel(ack.request_id)   # the old server "dies"
+        yield dfms.server.wait(ack.request_id)
+        return checkpoint_to_json(snapshot)
+
+    snapshot_json = dfms.run(coordinate())
+    assert dfms.server.status(ack.request_id).state is \
+        ExecutionState.CANCELLED
+
+    # 5. Recovery on a fresh server over the same grid.
+    server2 = DfMSServer(dfms.env, dfms.dgms, name="matrix-recovered")
+    server2.procedures.define(StoredProcedure(
+        name="verify", parameters=[ProcedureParameter("path")],
+        flow=(flow_builder("verify-body")
+              .step("sum", "srb.checksum", assign_to="digest",
+                    path="${path}")
+              .step("tag", "srb.set_metadata", path="${path}",
+                    attribute="md5", value="${digest}")
+              .build())))
+    attach_to_server(provenance, server2)
+    execution = restore_execution(server2,
+                                  checkpoint_from_json(snapshot_json))
+
+    def wait_recovered():
+        yield server2.wait(execution.request_id)
+
+    dfms.run(wait_recovered())
+    assert execution.state is ExecutionState.COMPLETED
+
+    # Every item is ingested exactly once, verified, and trigger-stamped.
+    for index in range(N_ITEMS):
+        obj = dfms.dgms.namespace.resolve_object(
+            f"/home/alice/accession/item-{index}.dat")
+        assert len(obj.replicas) == 1          # recovery re-ran nothing
+        assert obj.metadata.get("md5") == obj.checksum
+        assert obj.metadata.get("accessioned") == 1
+
+    # 6. Windowed ILM tiering (on the recovered server).
+    ilm = ILMManager(server2)
+    ilm.add_policy(imploding_star_policy(
+        name="tier", collection="/home/alice/accession",
+        archiver_domain="sdsc", archive_resource="sdsc-tape",
+        trim_below_value=0.8))
+
+    def lifecycle():
+        yield from ilm.run_pass_sync("tier", dfms.alice)       # archive
+        yield dfms.env.timeout(30 * DAY)
+        yield from ilm.run_pass_sync("tier", dfms.alice)       # trim
+
+    dfms.run(lifecycle())
+    for index in range(N_ITEMS):
+        obj = dfms.dgms.namespace.resolve_object(
+            f"/home/alice/accession/item-{index}.dat")
+        assert [r.physical_name for r in obj.good_replicas()] == \
+            ["sdsc-tape-1"]
+
+    # 7. Federation export of one item to a partner grid.
+    from tests.test_grid_federation import make_zone
+    federation = Federation(dfms.env)
+    partner, partner_admin, partner_disk = make_zone(dfms.env, "partner",
+                                                     "partner-disk")
+    federation.add_zone("home", dfms.dgms)
+    federation.add_zone("partner", partner)
+    dfms.dgms.grant(dfms.alice, "/home/alice/accession/item-0.dat",
+                    partner_admin.qualified_name, Permission.READ)
+
+    def export():
+        yield federation.cross_zone_copy(
+            partner_admin, "home", "/home/alice/accession/item-0.dat",
+            "partner", "/data/item-0.dat", "partner-disk")
+
+    dfms.run(export())
+    exported = partner.namespace.resolve_object("/data/item-0.dat")
+    assert exported.metadata.get("md5") is not None
+
+    # 8. Provenance tells the whole story for item 0, in order.
+    trail = [record.operation for record in
+             provenance.for_subject("/home/alice/accession/item-0.dat")
+             if record.category == "dgms"]
+    assert trail[0] == "put"
+    assert "checksum" in trail
+    assert "replicate" in trail          # ILM archive
+    assert "remove_replica" in trail     # ILM trim
+    # Engine history spans both servers.
+    engine_records = provenance.query(category="engine")
+    actors = {record.subject.split(".")[0] for record in engine_records}
+    assert {"matrix-1", "matrix-recovered"} <= actors

@@ -1,0 +1,270 @@
+"""Integration tests for the DGMS facade over sim + storage + network."""
+
+import pytest
+
+from repro.errors import (
+    GridError,
+    NamespaceError,
+    PermissionDenied,
+    ReplicaError,
+)
+from repro.grid import (
+    EventKind,
+    EventPhase,
+    Permission,
+    Query,
+    ReplicaState,
+    parse_conditions,
+)
+from repro.storage import GB, MB
+
+
+def test_put_creates_object_with_replica(grid):
+    obj = grid.put_file("/home/alice/data.dat", size=10 * MB)
+    assert obj.size == 10 * MB
+    assert len(obj.replicas) == 1
+    replica = obj.replicas[0]
+    assert replica.domain == "sdsc"
+    assert grid.sdsc_disk.holds(replica.allocation_id)
+    assert grid.env.now > 0      # the write took virtual time
+
+
+def test_put_with_metadata(grid):
+    obj = grid.put_file("/home/alice/x", metadata={"stage": "raw"})
+    assert obj.metadata.get("stage") == "raw"
+
+
+def test_put_requires_write_on_parent(grid):
+    with pytest.raises(PermissionDenied):
+        grid.put_file("/home/alice/intruder", user=grid.bob)
+
+
+def test_put_from_remote_domain_takes_network_time(grid):
+    grid.put_file("/home/alice/local", size=10 * MB)
+    local_time = grid.env.now
+    grid.put_file("/home/alice/remote", size=10 * MB, source_domain="ucsd")
+    remote_time = grid.env.now - local_time
+    assert remote_time > local_time
+
+
+def test_get_reads_to_domain(grid):
+    grid.put_file("/home/alice/data", size=10 * MB)
+
+    def read():
+        obj = yield grid.dgms.get(grid.alice, "/home/alice/data", "ucsd")
+        return obj
+
+    obj = grid.run(read())
+    assert obj.size == 10 * MB
+    assert grid.dgms.transfers.total_bytes_moved >= 10 * MB
+
+
+def test_get_requires_read(grid):
+    grid.put_file("/home/alice/private")
+
+    def read():
+        yield grid.dgms.get(grid.bob, "/home/alice/private", "ucsd")
+
+    with pytest.raises(PermissionDenied):
+        grid.run(read())
+
+
+def test_grant_then_get_succeeds(grid):
+    grid.put_file("/home/alice/shared")
+    grid.dgms.grant(grid.alice, "/home/alice/shared",
+                    grid.bob.qualified_name, Permission.READ)
+
+    def read():
+        yield grid.dgms.get(grid.bob, "/home/alice/shared", "ucsd")
+
+    grid.run(read())   # no exception
+
+
+def test_replicate_adds_replica_at_target_domain(grid):
+    obj = grid.put_file("/home/alice/data", size=5 * MB)
+
+    def replicate():
+        yield grid.dgms.replicate(grid.alice, "/home/alice/data", "ucsd-disk")
+
+    grid.run(replicate())
+    assert len(obj.replicas) == 2
+    assert {r.domain for r in obj.replicas} == {"sdsc", "ucsd"}
+    assert grid.ucsd_disk.used_bytes == 5 * MB
+
+
+def test_replicate_twice_to_same_resource_rejected(grid):
+    grid.put_file("/home/alice/data")
+
+    def replicate():
+        yield grid.dgms.replicate(grid.alice, "/home/alice/data", "ucsd-disk")
+        yield grid.dgms.replicate(grid.alice, "/home/alice/data", "ucsd-disk")
+
+    with pytest.raises(ReplicaError):
+        grid.run(replicate())
+
+
+def test_migrate_moves_bytes_between_resources(grid):
+    obj = grid.put_file("/home/alice/cold", size=5 * MB)
+
+    def migrate():
+        yield grid.dgms.migrate(grid.alice, "/home/alice/cold",
+                                "sdsc-disk-1", "sdsc-tape")
+
+    grid.run(migrate())
+    assert len(obj.replicas) == 1
+    assert obj.replicas[0].physical_name == "sdsc-tape-1"
+    assert grid.sdsc_disk.used_bytes == 0
+    assert grid.sdsc_tape.used_bytes == 5 * MB
+
+
+def test_migrate_to_tape_pays_mount_latency(grid):
+    grid.put_file("/home/alice/a", size=MB)
+    before = grid.env.now
+
+    def migrate():
+        yield grid.dgms.migrate(grid.alice, "/home/alice/a",
+                                "sdsc-disk-1", "sdsc-tape")
+
+    grid.run(migrate())
+    assert grid.env.now - before >= 90.0   # archive access latency
+
+
+def test_delete_removes_all_replicas_and_namespace_entry(grid):
+    grid.put_file("/home/alice/doomed", size=MB)
+
+    def go():
+        yield grid.dgms.replicate(grid.alice, "/home/alice/doomed", "ucsd-disk")
+        yield grid.dgms.delete(grid.alice, "/home/alice/doomed")
+
+    grid.run(go())
+    assert not grid.dgms.namespace.exists("/home/alice/doomed")
+    assert grid.sdsc_disk.used_bytes == 0
+    assert grid.ucsd_disk.used_bytes == 0
+
+
+def test_delete_requires_own(grid):
+    grid.put_file("/home/alice/mine")
+    grid.dgms.grant(grid.alice, "/home/alice/mine",
+                    grid.bob.qualified_name, Permission.WRITE)
+
+    def go():
+        yield grid.dgms.delete(grid.bob, "/home/alice/mine")
+
+    with pytest.raises(PermissionDenied):
+        grid.run(go())
+
+
+def test_remove_replica_protects_last_copy(grid):
+    grid.put_file("/home/alice/single")
+
+    def go():
+        yield grid.dgms.remove_replica(grid.alice, "/home/alice/single",
+                                       "sdsc-disk-1")
+
+    with pytest.raises(ReplicaError, match="last good replica"):
+        grid.run(go())
+
+
+def test_replica_selection_nearest_vs_fixed(grid):
+    obj = grid.put_file("/home/alice/data", size=10 * MB)
+
+    def replicate():
+        yield grid.dgms.replicate(grid.alice, "/home/alice/data", "ucsd-disk")
+
+    grid.run(replicate())
+    nearest = grid.dgms.select_replica(obj, "ucsd", "nearest")
+    fixed = grid.dgms.select_replica(obj, "ucsd", "fixed")
+    assert nearest.domain == "ucsd"     # local copy wins
+    assert fixed.domain == "sdsc"       # first replica regardless
+    with pytest.raises(GridError):
+        grid.dgms.select_replica(obj, "ucsd", "bogus")
+
+
+def test_checksum_is_deterministic_and_version_sensitive(grid):
+    grid.put_file("/home/alice/f", size=MB)
+
+    def digest():
+        d = yield grid.dgms.checksum(grid.alice, "/home/alice/f")
+        return d
+
+    first = grid.run(digest())
+    second = grid.run(digest())
+    assert first == second
+
+    def overwrite():
+        yield grid.dgms.overwrite(grid.alice, "/home/alice/f", 2 * MB)
+
+    grid.run(overwrite())
+    assert grid.run(digest()) != first
+
+
+def test_overwrite_marks_other_replicas_stale(grid):
+    obj = grid.put_file("/home/alice/f", size=MB)
+
+    def go():
+        yield grid.dgms.replicate(grid.alice, "/home/alice/f", "ucsd-disk")
+        yield grid.dgms.overwrite(grid.alice, "/home/alice/f", 2 * MB)
+
+    grid.run(go())
+    assert obj.version == 2
+    assert [r.state for r in obj.replicas if r.domain == "ucsd"] == [ReplicaState.STALE]
+
+
+def test_move_preserves_physical_allocation(grid):
+    obj = grid.put_file("/home/alice/before", size=MB)
+    allocation = obj.replicas[0].allocation_id
+    grid.dgms.move(grid.alice, "/home/alice/before", "/home/alice/after")
+    assert grid.dgms.namespace.resolve_object("/home/alice/after") is obj
+    assert grid.sdsc_disk.holds(allocation)
+
+
+def test_query_filters_unreadable_objects(grid):
+    grid.put_file("/home/alice/visible", metadata={"tag": "x"})
+    grid.put_file("/home/alice/hidden", metadata={"tag": "x"})
+    grid.dgms.grant(grid.alice, "/home/alice/visible",
+                    grid.bob.qualified_name, Permission.READ)
+    query = Query(collection="/home", conditions=parse_conditions("meta:tag = 'x'"))
+    assert [o.name for o in grid.dgms.query(grid.bob, query)] == ["visible"]
+    assert len(grid.dgms.query(grid.alice, query)) == 2
+
+
+def test_events_published_before_and_after(grid):
+    seen = []
+    grid.dgms.events.subscribe(lambda e: seen.append((e.kind, e.phase)))
+    grid.put_file("/home/alice/evt")
+    inserts = [p for k, p in seen if k is EventKind.INSERT]
+    assert inserts == [EventPhase.BEFORE, EventPhase.AFTER]
+
+
+def test_operation_listeners_receive_records(grid):
+    records = []
+    grid.dgms.operation_listeners.append(records.append)
+    grid.put_file("/home/alice/f", size=MB)
+    ops = [r.operation for r in records]
+    assert "put" in ops
+    put = next(r for r in records if r.operation == "put")
+    assert put.user == "alice@sdsc"
+    assert put.end_time >= put.start_time
+    assert put.detail["size"] == MB
+
+
+def test_register_user_requires_domain(grid):
+    with pytest.raises(GridError):
+        grid.dgms.register_user("carol", "nowhere")
+
+
+def test_register_resource_requires_domain(grid):
+    from repro.storage import PhysicalStorageResource, StorageClass
+    with pytest.raises(GridError):
+        grid.dgms.register_resource(
+            "x", "nowhere",
+            PhysicalStorageResource("d", StorageClass.DISK, GB))
+
+
+def test_list_collection_and_stat(grid):
+    grid.put_file("/home/alice/a")
+    names = [n.name for n in grid.dgms.list_collection(grid.alice, "/home/alice")]
+    assert names == ["a"]
+    assert grid.dgms.stat(grid.alice, "/home/alice/a").name == "a"
+    with pytest.raises(NamespaceError):
+        grid.dgms.stat(grid.alice, "/home/alice/ghost")

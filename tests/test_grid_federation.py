@@ -1,0 +1,86 @@
+"""Tests for zone federation (multiple datagrids)."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.grid import (
+    DataGridManagementSystem,
+    Federation,
+    Permission,
+    split_zone_path,
+)
+from repro.network import Topology
+from repro.sim import Environment
+from repro.storage import GB, MB, PhysicalStorageResource, StorageClass
+
+
+def make_zone(env, domain, resource_name):
+    topo = Topology()
+    topo.add_domain(domain)
+    dgms = DataGridManagementSystem(env, topo, name=domain)
+    dgms.register_domain(domain)
+    disk = PhysicalStorageResource(resource_name, StorageClass.DISK, 100 * GB)
+    dgms.register_resource(f"{domain}-disk", domain, disk)
+    user = dgms.register_user("admin", domain)
+    dgms.create_collection(user, "/data", parents=True)
+    return dgms, user, disk
+
+
+def test_split_zone_path():
+    assert split_zone_path("ukgrid:/data/x") == ("ukgrid", "/data/x")
+    assert split_zone_path("/data/x") == (None, "/data/x")
+    with pytest.raises(FederationError):
+        split_zone_path("ukgrid:data/x")
+
+
+def test_add_and_lookup_zones():
+    env = Environment()
+    fed = Federation(env)
+    us, _, _ = make_zone(env, "sdsc", "us-disk")
+    fed.add_zone("usgrid", us)
+    assert fed.zone("usgrid") is us
+    assert fed.zones() == ["usgrid"]
+    with pytest.raises(FederationError):
+        fed.add_zone("usgrid", us)
+    with pytest.raises(FederationError):
+        fed.zone("ghost")
+
+
+def test_resolve_with_and_without_zone_prefix():
+    env = Environment()
+    fed = Federation(env)
+    us, user, _ = make_zone(env, "sdsc", "us-disk")
+    fed.add_zone("usgrid", us)
+    dgms, node = fed.resolve("usgrid", "/data")
+    assert dgms is us and node.path == "/data"
+    dgms, node = fed.resolve("usgrid", "usgrid:/data")
+    assert dgms is us
+
+
+def test_cross_zone_copy_moves_object_and_metadata():
+    env = Environment()
+    fed = Federation(env)
+    us, us_admin, us_disk = make_zone(env, "sdsc", "us-disk")
+    uk, uk_admin, uk_disk = make_zone(env, "ral", "uk-disk")
+    fed.add_zone("usgrid", us)
+    fed.add_zone("ukgrid", uk)
+
+    def scenario():
+        yield us.put(us_admin, "/data/obs.dat", 10 * MB, "sdsc-disk",
+                     metadata={"experiment": "cms"})
+        # Domain autonomy: the UK admin must be granted access explicitly.
+        us.grant(us_admin, "/data/obs.dat", uk_admin.qualified_name,
+                 Permission.READ)
+        copied = yield fed.cross_zone_copy(
+            uk_admin, "usgrid", "/data/obs.dat",
+            "ukgrid", "/data/obs.dat", "ral-disk")
+        return copied
+
+    copied = env.run_process(scenario())
+    assert uk.namespace.exists("/data/obs.dat")
+    assert copied.metadata.get("experiment") == "cms"
+    assert copied.metadata.get("federation:source") == "usgrid:/data/obs.dat"
+    assert uk_disk.used_bytes == 10 * MB
+    # Source object is untouched.
+    assert us.namespace.resolve_object("/data/obs.dat").size == 10 * MB
+    assert env.now > 0.0

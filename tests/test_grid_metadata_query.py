@@ -1,0 +1,206 @@
+"""Unit tests for metadata AVUs and the datagrid query language."""
+
+import pytest
+
+from repro.errors import MetadataError
+from repro.grid import (
+    Condition,
+    LogicalNamespace,
+    MetadataSet,
+    Op,
+    Query,
+    User,
+    parse_conditions,
+)
+
+ALICE = User("alice", "sdsc")
+
+
+# -- metadata ----------------------------------------------------------------
+
+def test_set_get_with_unit():
+    md = MetadataSet()
+    md.set("temperature", 21.5, unit="celsius")
+    assert md.get("temperature") == 21.5
+    assert md.unit("temperature") == "celsius"
+    assert "temperature" in md
+
+
+def test_get_default():
+    md = MetadataSet()
+    assert md.get("missing") is None
+    assert md.get("missing", "fallback") == "fallback"
+
+
+def test_set_replaces():
+    md = MetadataSet()
+    md.set("stage", "raw")
+    md.set("stage", "processed")
+    assert md.get("stage") == "processed"
+    assert len(md) == 1
+
+
+def test_remove_is_idempotent():
+    md = MetadataSet()
+    md.set("x", 1)
+    md.remove("x")
+    md.remove("x")
+    assert "x" not in md
+
+
+def test_invalid_values_rejected():
+    md = MetadataSet()
+    with pytest.raises(MetadataError):
+        md.set("", "value")
+    with pytest.raises(MetadataError):
+        md.set("attr", ["a", "list"])
+    with pytest.raises(MetadataError):
+        md.set("attr", True)
+
+
+def test_copy_from_merges():
+    a, b = MetadataSet(), MetadataSet()
+    a.set("x", 1)
+    b.set("x", 2)
+    b.set("y", 3)
+    a.copy_from(b)
+    assert a.as_dict() == {"x": 2, "y": 3}
+
+
+# -- conditions ----------------------------------------------------------------
+
+def populated_namespace():
+    ns = LogicalNamespace()
+    ns.create_collection("/data/raw", ALICE, 0.0, parents=True)
+    ns.create_collection("/data/cooked", ALICE, 0.0, parents=True)
+    big = ns.create_object("/data/raw/big.dat", 5000.0, ALICE, 0.0)
+    small = ns.create_object("/data/raw/small.dat", 10.0, ALICE, 0.0)
+    note = ns.create_object("/data/cooked/note.txt", 10.0, ALICE, 0.0)
+    big.metadata.set("stage", "raw")
+    small.metadata.set("stage", "raw")
+    note.metadata.set("stage", "final")
+    note.metadata.set("reviewed", 1)
+    return ns
+
+
+def test_condition_on_builtin_fields():
+    ns = populated_namespace()
+    big = ns.resolve_object("/data/raw/big.dat")
+    assert Condition("size", Op.GT, 1000).matches(big)
+    assert Condition("name", Op.LIKE, "*.dat").matches(big)
+    assert not Condition("name", Op.LIKE, "*.txt").matches(big)
+    assert Condition("path", Op.CONTAINS, "/raw/").matches(big)
+
+
+def test_condition_on_metadata():
+    ns = populated_namespace()
+    note = ns.resolve_object("/data/cooked/note.txt")
+    assert Condition("meta:stage", Op.EQ, "final").matches(note)
+    assert Condition("meta:reviewed", Op.EXISTS).matches(note)
+    assert not Condition("meta:reviewed", Op.EXISTS).matches(
+        ns.resolve_object("/data/raw/big.dat"))
+
+
+def test_missing_metadata_never_matches_comparisons():
+    ns = populated_namespace()
+    big = ns.resolve_object("/data/raw/big.dat")
+    assert not Condition("meta:absent", Op.EQ, "x").matches(big)
+    assert not Condition("meta:absent", Op.NE, "x").matches(big)
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(MetadataError):
+        Condition("sizzle", Op.EQ, 1)
+
+
+def test_comparison_needs_value():
+    with pytest.raises(MetadataError):
+        Condition("size", Op.GT)
+
+
+def test_numeric_vs_string_comparison():
+    ns = populated_namespace()
+    note = ns.resolve_object("/data/cooked/note.txt")
+    assert Condition("meta:reviewed", Op.GE, 1).matches(note)
+    # A string comparison against a numeric attribute falls back to strings.
+    assert Condition("meta:stage", Op.EQ, "final").matches(note)
+
+
+# -- queries ----------------------------------------------------------------
+
+def test_query_recursive_conjunction():
+    ns = populated_namespace()
+    query = Query(collection="/data", conditions=[
+        Condition("meta:stage", Op.EQ, "raw"),
+        Condition("size", Op.LT, 100),
+    ])
+    assert [o.name for o in query.run(ns)] == ["small.dat"]
+
+
+def test_query_non_recursive():
+    ns = populated_namespace()
+    query = Query(collection="/data", recursive=False)
+    assert query.run(ns) == []      # objects live one level down
+
+
+def test_query_results_sorted_and_limited():
+    ns = populated_namespace()
+    query = Query(collection="/data")
+    paths = [o.path for o in query.run(ns)]
+    assert paths == sorted(paths)
+    assert len(Query(collection="/data", limit=2).run(ns)) == 2
+
+
+def test_empty_query_matches_everything():
+    ns = populated_namespace()
+    assert len(Query(collection="/").run(ns)) == 3
+
+
+# -- text form ----------------------------------------------------------------
+
+def test_parse_simple_clause():
+    (cond,) = parse_conditions("size > 100")
+    assert cond == Condition("size", Op.GT, 100)
+
+
+def test_parse_conjunction_with_quotes():
+    conds = parse_conditions("name like '*.dat' AND meta:stage = 'raw'")
+    assert conds == [
+        Condition("name", Op.LIKE, "*.dat"),
+        Condition("meta:stage", Op.EQ, "raw"),
+    ]
+
+
+def test_parse_all_operators():
+    text = ("size >= 1 AND size <= 9 AND size != 5 AND name contains x "
+            "AND meta:a exists")
+    ops = [c.op for c in parse_conditions(text)]
+    assert ops == [Op.GE, Op.LE, Op.NE, Op.CONTAINS, Op.EXISTS]
+
+
+def test_parse_numeric_types():
+    conds = parse_conditions("meta:runs = 3 AND meta:score = 0.5 AND meta:tag = v1")
+    assert conds[0].value == 3
+    assert conds[1].value == 0.5
+    assert conds[2].value == "v1"
+
+
+def test_parse_empty_text():
+    assert parse_conditions("") == []
+    assert parse_conditions("   ") == []
+
+
+def test_parse_errors():
+    with pytest.raises(MetadataError):
+        parse_conditions("size >")
+    with pytest.raises(MetadataError):
+        parse_conditions("meta:a exists now")
+    with pytest.raises(MetadataError):
+        parse_conditions("size > 1 AND ")
+
+
+def test_parsed_conditions_run_in_query():
+    ns = populated_namespace()
+    query = Query(collection="/data",
+                  conditions=parse_conditions("meta:stage = 'raw' AND size > 100"))
+    assert [o.name for o in query.run(ns)] == ["big.dat"]

@@ -1,0 +1,233 @@
+"""Unit tests for the logical namespace."""
+
+import pytest
+
+from repro.errors import NamespaceError, ReplicaError
+from repro.grid import (
+    DataObject,
+    LogicalNamespace,
+    Replica,
+    ReplicaState,
+    User,
+    basename,
+    join_path,
+    normalize_path,
+    parent_path,
+)
+
+ALICE = User("alice", "sdsc")
+
+
+def ns_with_home():
+    ns = LogicalNamespace()
+    ns.create_collection("/home/alice", ALICE, 0.0, parents=True)
+    return ns
+
+
+# -- path helpers ----------------------------------------------------------
+
+def test_normalize_path():
+    assert normalize_path("/a//b/") == "/a/b"
+    assert normalize_path("/") == "/"
+
+
+def test_relative_paths_rejected():
+    with pytest.raises(NamespaceError):
+        normalize_path("a/b")
+    with pytest.raises(NamespaceError):
+        normalize_path("/a/../b")
+    with pytest.raises(NamespaceError):
+        normalize_path("")
+
+
+def test_parent_and_basename():
+    assert parent_path("/a/b/c") == "/a/b"
+    assert parent_path("/a") == "/"
+    assert parent_path("/") == "/"
+    assert basename("/a/b/c") == "c"
+    assert basename("/") == ""
+
+
+def test_join_path():
+    assert join_path("/", "a") == "/a"
+    assert join_path("/a/b", "c") == "/a/b/c"
+    with pytest.raises(NamespaceError):
+        join_path("/a", "b/c")
+
+
+# -- collections -----------------------------------------------------------
+
+def test_create_collection_with_parents():
+    ns = LogicalNamespace()
+    ns.create_collection("/projects/scec/runs", ALICE, 1.0, parents=True)
+    assert ns.exists("/projects")
+    assert ns.exists("/projects/scec/runs")
+
+
+def test_create_without_parents_requires_parent():
+    ns = LogicalNamespace()
+    with pytest.raises(NamespaceError, match="does not exist"):
+        ns.create_collection("/missing/child", ALICE, 0.0)
+
+
+def test_duplicate_collection_rejected():
+    ns = ns_with_home()
+    with pytest.raises(NamespaceError, match="already exists"):
+        ns.create_collection("/home/alice", ALICE, 0.0)
+
+
+def test_path_derived_from_parent_chain():
+    ns = ns_with_home()
+    node = ns.resolve("/home/alice")
+    assert node.path == "/home/alice"
+    assert ns.resolve("/").path == "/"
+
+
+# -- data objects ----------------------------------------------------------
+
+def test_create_object_and_resolve():
+    ns = ns_with_home()
+    obj = ns.create_object("/home/alice/data.dat", 1000.0, ALICE, 2.0)
+    assert obj.path == "/home/alice/data.dat"
+    assert ns.resolve_object("/home/alice/data.dat") is obj
+    assert obj.guid.startswith("guid-")
+
+
+def test_object_guids_are_unique():
+    ns = ns_with_home()
+    a = ns.create_object("/home/alice/a", 1.0, ALICE, 0.0)
+    b = ns.create_object("/home/alice/b", 1.0, ALICE, 0.0)
+    assert a.guid != b.guid
+
+
+def test_negative_size_rejected():
+    ns = ns_with_home()
+    with pytest.raises(NamespaceError):
+        ns.create_object("/home/alice/bad", -5.0, ALICE, 0.0)
+
+
+def test_resolve_type_mismatch():
+    ns = ns_with_home()
+    ns.create_object("/home/alice/data", 1.0, ALICE, 0.0)
+    with pytest.raises(NamespaceError, match="not a collection"):
+        ns.resolve_collection("/home/alice/data")
+    with pytest.raises(NamespaceError, match="not a data object"):
+        ns.resolve_object("/home/alice")
+
+
+def test_object_cannot_have_children():
+    ns = ns_with_home()
+    ns.create_object("/home/alice/data", 1.0, ALICE, 0.0)
+    with pytest.raises(NamespaceError):
+        ns.resolve("/home/alice/data/inside")
+
+
+# -- move / remove ---------------------------------------------------------
+
+def test_move_is_purely_logical():
+    ns = ns_with_home()
+    obj = ns.create_object("/home/alice/old", 1.0, ALICE, 0.0)
+    replica = Replica(obj.guid, "lr", "sdsc", "disk-1", 0.0)
+    obj.add_replica(replica)
+    ns.move("/home/alice/old", "/home/alice/new")
+    assert ns.resolve_object("/home/alice/new") is obj
+    assert obj.replicas == [replica]           # untouched
+    assert not ns.exists("/home/alice/old")
+
+
+def test_move_collection_moves_subtree():
+    ns = ns_with_home()
+    ns.create_object("/home/alice/data", 1.0, ALICE, 0.0)
+    ns.move("/home/alice", "/home/renamed")
+    assert ns.exists("/home/renamed/data")
+
+
+def test_move_under_self_rejected():
+    ns = ns_with_home()
+    ns.create_collection("/home/alice/sub", ALICE, 0.0)
+    with pytest.raises(NamespaceError, match="under itself"):
+        ns.move("/home/alice", "/home/alice/sub/alice")
+
+
+def test_move_to_existing_destination_rejected():
+    ns = ns_with_home()
+    ns.create_object("/home/alice/a", 1.0, ALICE, 0.0)
+    ns.create_object("/home/alice/b", 1.0, ALICE, 0.0)
+    with pytest.raises(NamespaceError, match="already exists"):
+        ns.move("/home/alice/a", "/home/alice/b")
+
+
+def test_remove_object():
+    ns = ns_with_home()
+    ns.create_object("/home/alice/data", 1.0, ALICE, 0.0)
+    ns.remove("/home/alice/data")
+    assert not ns.exists("/home/alice/data")
+
+
+def test_remove_nonempty_collection_rejected():
+    ns = ns_with_home()
+    ns.create_object("/home/alice/data", 1.0, ALICE, 0.0)
+    with pytest.raises(NamespaceError, match="not empty"):
+        ns.remove("/home/alice")
+
+
+def test_remove_root_rejected():
+    ns = LogicalNamespace()
+    with pytest.raises(NamespaceError):
+        ns.remove("/")
+
+
+# -- replicas ----------------------------------------------------------------
+
+def test_replica_bookkeeping():
+    obj = DataObject("f", 10.0, ALICE, 0.0)
+    r1 = Replica(obj.guid, "lr", "sdsc", "disk-1", 0.0)
+    r2 = Replica(obj.guid, "lr", "ucsd", "disk-2", 1.0)
+    obj.add_replica(r1)
+    obj.add_replica(r2)
+    assert obj.replica_on("disk-2") is r2
+    assert obj.replica_on("nowhere") is None
+    r1.state = ReplicaState.STALE
+    assert obj.good_replicas() == [r2]
+
+
+def test_duplicate_replica_on_same_resource_rejected():
+    obj = DataObject("f", 10.0, ALICE, 0.0)
+    obj.add_replica(Replica(obj.guid, "lr", "sdsc", "disk-1", 0.0))
+    with pytest.raises(ReplicaError):
+        obj.add_replica(Replica(obj.guid, "lr", "sdsc", "disk-1", 0.0))
+
+
+def test_remove_unknown_replica_rejected():
+    obj = DataObject("f", 10.0, ALICE, 0.0)
+    stray = Replica(obj.guid, "lr", "sdsc", "disk-1", 0.0)
+    with pytest.raises(ReplicaError):
+        obj.remove_replica(stray)
+
+
+def test_allocation_id_is_stable_under_rename():
+    ns = ns_with_home()
+    obj = ns.create_object("/home/alice/f", 10.0, ALICE, 0.0)
+    replica = Replica(obj.guid, "lr", "sdsc", "disk-1", 0.0)
+    before = replica.allocation_id
+    ns.move("/home/alice/f", "/home/alice/g")
+    assert replica.allocation_id == before
+
+
+# -- traversal ---------------------------------------------------------------
+
+def test_walk_yields_depth_first():
+    ns = ns_with_home()
+    ns.create_collection("/home/alice/sub", ALICE, 0.0)
+    ns.create_object("/home/alice/a", 1.0, ALICE, 0.0)
+    ns.create_object("/home/alice/sub/b", 1.0, ALICE, 0.0)
+    seen = [collection.path for collection, _, _ in ns.walk("/home")]
+    assert seen == ["/home", "/home/alice", "/home/alice/sub"]
+
+
+def test_iter_objects():
+    ns = ns_with_home()
+    ns.create_object("/home/alice/a", 1.0, ALICE, 0.0)
+    ns.create_object("/home/alice/b", 1.0, ALICE, 0.0)
+    names = sorted(o.name for o in ns.iter_objects("/home"))
+    assert names == ["a", "b"]

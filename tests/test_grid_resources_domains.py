@@ -1,0 +1,106 @@
+"""Unit tests for logical resources and administrative domains."""
+
+import pytest
+
+from repro.errors import GridError, LogicalResourceError
+from repro.grid import DomainRegistry, DomainRole, ResourceRegistry
+from repro.storage import GB, PhysicalStorageResource, StorageClass
+
+
+def disk(name, capacity=10 * GB):
+    return PhysicalStorageResource(name, StorageClass.DISK, capacity)
+
+
+# -- logical resources -------------------------------------------------------
+
+def test_register_creates_logical_pool():
+    registry = ResourceRegistry()
+    logical = registry.register("sdsc-disk", "sdsc", disk("d1"))
+    assert logical.name == "sdsc-disk"
+    assert len(logical) == 1
+    assert registry.logical("sdsc-disk") is logical
+    assert "sdsc-disk" in registry
+
+
+def test_pool_grows_with_more_members():
+    registry = ResourceRegistry()
+    registry.register("pool", "sdsc", disk("d1"))
+    logical = registry.register("pool", "ucsd", disk("d2"))
+    assert len(logical) == 2
+    assert {m.domain for m in logical.members} == {"sdsc", "ucsd"}
+
+
+def test_physical_registered_once():
+    registry = ResourceRegistry()
+    d = disk("d1")
+    registry.register("a", "sdsc", d)
+    with pytest.raises(LogicalResourceError):
+        registry.register("b", "sdsc", d)
+
+
+def test_unknown_lookups_raise():
+    registry = ResourceRegistry()
+    with pytest.raises(LogicalResourceError):
+        registry.logical("ghost")
+    with pytest.raises(LogicalResourceError):
+        registry.physical("ghost")
+
+
+def test_select_for_write_prefers_most_free_space():
+    registry = ResourceRegistry()
+    small = disk("small", capacity=1 * GB)
+    large = disk("large", capacity=10 * GB)
+    logical = registry.register("pool", "sdsc", small)
+    registry.register("pool", "sdsc", large)
+    assert logical.select_for_write(100.0).name == "large"
+
+
+def test_select_for_write_skips_full_and_offline():
+    registry = ResourceRegistry()
+    a, b = disk("a", capacity=1 * GB), disk("b", capacity=10 * GB)
+    logical = registry.register("pool", "sdsc", a)
+    registry.register("pool", "sdsc", b)
+    b.online = False
+    assert logical.select_for_write(100.0).name == "a"
+    with pytest.raises(LogicalResourceError):
+        logical.select_for_write(5 * GB)   # only 'a' online, too small
+
+
+def test_remove_member():
+    registry = ResourceRegistry()
+    logical = registry.register("pool", "sdsc", disk("d1"))
+    logical.remove_member("d1")
+    assert len(logical) == 0
+    with pytest.raises(LogicalResourceError):
+        logical.remove_member("d1")
+
+
+# -- domains ----------------------------------------------------------------
+
+def test_domain_registration_and_roles():
+    registry = DomainRegistry()
+    registry.register("cern", DomainRole.PRODUCER)
+    registry.register("ral", DomainRole.ARCHIVER)
+    registry.register("fnal")
+    assert registry.get("cern").role is DomainRole.PRODUCER
+    assert [d.name for d in registry.with_role(DomainRole.ARCHIVER)] == ["ral"]
+    assert len(registry) == 3
+    assert "cern" in registry
+
+
+def test_duplicate_domain_rejected():
+    registry = DomainRegistry()
+    registry.register("cern")
+    with pytest.raises(GridError):
+        registry.register("cern")
+
+
+def test_unknown_domain_raises():
+    with pytest.raises(GridError):
+        DomainRegistry().get("ghost")
+
+
+def test_empty_domain_name_rejected():
+    registry = DomainRegistry()
+    with pytest.raises(GridError):
+        registry.register("")

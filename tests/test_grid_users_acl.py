@@ -1,0 +1,92 @@
+"""Unit tests for users, groups, and access control."""
+
+import pytest
+
+from repro.errors import GridError, PermissionDenied
+from repro.grid import AccessControlList, Permission, User, UserRegistry
+
+
+def test_qualified_name():
+    user = User("alice", "sdsc")
+    assert user.qualified_name == "alice@sdsc"
+    assert str(user) == "alice@sdsc"
+
+
+def test_registry_rejects_duplicates():
+    registry = UserRegistry()
+    registry.register("alice", "sdsc")
+    with pytest.raises(GridError):
+        registry.register("alice", "sdsc")
+    # Same name at a different domain is a different identity.
+    registry.register("alice", "ucsd")
+    assert len(registry) == 2
+
+
+def test_registry_lookup():
+    registry = UserRegistry()
+    registry.register("alice", "sdsc")
+    assert registry.get("alice@sdsc").name == "alice"
+    assert "alice@sdsc" in registry
+    with pytest.raises(GridError):
+        registry.get("ghost@nowhere")
+
+
+def test_group_membership():
+    registry = UserRegistry()
+    registry.register("alice", "sdsc", groups={"scec"})
+    registry.register("bob", "ucsd", groups={"scec", "library"})
+    assert registry.members("scec") == {"alice@sdsc", "bob@ucsd"}
+    assert registry.members("library") == {"bob@ucsd"}
+    assert registry.members("empty") == frozenset()
+
+
+def test_owner_gets_own_permission():
+    alice = User("alice", "sdsc")
+    acl = AccessControlList(owner=alice)
+    assert acl.level_for(alice) is Permission.OWN
+    assert acl.allows(alice, Permission.READ)
+    assert acl.allows(alice, Permission.WRITE)
+
+
+def test_permissions_are_ordered():
+    alice = User("alice", "sdsc")
+    bob = User("bob", "ucsd")
+    acl = AccessControlList(owner=alice)
+    acl.grant(bob.qualified_name, Permission.WRITE)
+    assert acl.allows(bob, Permission.READ)       # WRITE implies READ
+    assert not acl.allows(bob, Permission.OWN)
+
+
+def test_group_grant_applies_to_members():
+    acl = AccessControlList()
+    member = User("bob", "ucsd", groups=frozenset({"scec"}))
+    outsider = User("eve", "ucsd")
+    acl.grant("group:scec", Permission.READ)
+    assert acl.allows(member, Permission.READ)
+    assert not acl.allows(outsider, Permission.READ)
+
+
+def test_effective_level_is_max_of_user_and_groups():
+    acl = AccessControlList()
+    user = User("bob", "ucsd", groups=frozenset({"scec"}))
+    acl.grant("bob@ucsd", Permission.READ)
+    acl.grant("group:scec", Permission.WRITE)
+    assert acl.level_for(user) is Permission.WRITE
+
+
+def test_revoke_and_none_grant():
+    acl = AccessControlList()
+    user = User("bob", "ucsd")
+    acl.grant("bob@ucsd", Permission.WRITE)
+    acl.revoke("bob@ucsd")
+    assert acl.level_for(user) is Permission.NONE
+    acl.grant("bob@ucsd", Permission.WRITE)
+    acl.grant("bob@ucsd", Permission.NONE)   # granting NONE removes the entry
+    assert acl.entries() == {}
+
+
+def test_require_raises_with_context():
+    acl = AccessControlList()
+    user = User("bob", "ucsd")
+    with pytest.raises(PermissionDenied, match="needs WRITE on /data"):
+        acl.require(user, Permission.WRITE, "/data")

@@ -1,0 +1,94 @@
+"""Unit tests for the inter-domain network topology."""
+
+import pytest
+
+from repro.errors import NetworkError, NoRouteError
+from repro.network import Link, Topology
+from repro.storage import MB
+
+
+def triangle():
+    """A -- B -- C plus a slow direct A -- C link."""
+    topo = Topology()
+    topo.connect("A", "B", latency_s=0.01, bandwidth_bps=100 * MB)
+    topo.connect("B", "C", latency_s=0.01, bandwidth_bps=100 * MB)
+    topo.connect("A", "C", latency_s=0.10, bandwidth_bps=10 * MB)
+    return topo
+
+
+def test_link_validation():
+    with pytest.raises(NetworkError):
+        Link("A", "A", 0.01, 1.0)
+    with pytest.raises(NetworkError):
+        Link("A", "B", -1.0, 1.0)
+    with pytest.raises(NetworkError):
+        Link("A", "B", 0.01, 0.0)
+
+
+def test_connect_registers_domains():
+    topo = Topology()
+    topo.connect("A", "B", 0.01, MB)
+    assert topo.domains == {"A", "B"}
+
+
+def test_reconnect_replaces_link():
+    topo = Topology()
+    topo.connect("A", "B", 0.01, MB)
+    topo.connect("A", "B", 0.02, 2 * MB)
+    assert len(topo.links) == 1
+    assert topo.link_between("A", "B").bandwidth_bps == 2 * MB
+
+
+def test_route_local_is_empty():
+    topo = triangle()
+    assert topo.route("A", "A") == []
+    assert topo.transfer_time("A", "A", 100 * MB) == 0.0
+
+
+def test_route_prefers_lower_latency():
+    topo = triangle()
+    path = topo.route("A", "C")
+    # Two hops of 0.01 beat one hop of 0.10.
+    assert len(path) == 2
+    assert topo.path_latency("A", "C") == pytest.approx(0.02)
+
+
+def test_unknown_domain_rejected():
+    topo = triangle()
+    with pytest.raises(NetworkError):
+        topo.route("A", "Z")
+
+
+def test_no_route_raises():
+    topo = Topology()
+    topo.add_domain("isolated")
+    topo.connect("A", "B", 0.01, MB)
+    with pytest.raises(NoRouteError):
+        topo.route("A", "isolated")
+
+
+def test_bottleneck_bandwidth():
+    topo = Topology()
+    topo.connect("A", "B", 0.01, 100 * MB)
+    topo.connect("B", "C", 0.01, 10 * MB)
+    assert topo.bottleneck_bandwidth("A", "C") == 10 * MB
+    assert topo.bottleneck_bandwidth("A", "A") == float("inf")
+
+
+def test_transfer_time_uses_bottleneck():
+    topo = Topology()
+    topo.connect("A", "B", 0.5, 10 * MB)
+    assert topo.transfer_time("A", "B", 100 * MB) == pytest.approx(0.5 + 10.0)
+
+
+def test_star_builder():
+    topo = Topology.star("hub", ["t1", "t2", "t3"], 0.05, 10 * MB)
+    assert topo.domains == {"hub", "t1", "t2", "t3"}
+    assert len(topo.links) == 3
+    assert len(topo.route("t1", "t2")) == 2  # via the hub
+
+
+def test_full_mesh_builder():
+    topo = Topology.full_mesh(["A", "B", "C"], 0.01, MB)
+    assert len(topo.links) == 3
+    assert len(topo.route("A", "C")) == 1

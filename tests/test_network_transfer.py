@@ -1,0 +1,142 @@
+"""Unit tests for contention-aware transfers."""
+
+import pytest
+
+from repro.network import Topology, TransferService
+from repro.sim import Environment
+from repro.storage import MB
+
+
+def simple_topology(bandwidth=10 * MB, latency=0.0):
+    topo = Topology()
+    topo.connect("A", "B", latency, bandwidth)
+    return topo
+
+
+def test_single_transfer_matches_analytic_time():
+    env = Environment()
+    svc = TransferService(env, simple_topology(latency=0.5))
+
+    def run():
+        stats = yield svc.transfer("A", "B", 100 * MB)
+        return stats
+
+    stats = env.run_process(run())
+    assert stats.duration == pytest.approx(0.5 + 10.0)
+    assert svc.total_bytes_moved == 100 * MB
+
+
+def test_local_transfer_is_instantaneous():
+    env = Environment()
+    svc = TransferService(env, simple_topology())
+
+    def run():
+        stats = yield svc.transfer("A", "A", 100 * MB)
+        return stats
+
+    stats = env.run_process(run())
+    assert stats.duration == 0.0
+
+
+def test_two_transfers_share_the_link():
+    env = Environment()
+    svc = TransferService(env, simple_topology())
+
+    def run():
+        t1 = svc.transfer("A", "B", 100 * MB)
+        t2 = svc.transfer("A", "B", 100 * MB)
+        results = yield env.all_of([t1, t2])
+        return [s.duration for s in results.values()]
+
+    durations = env.run_process(run())
+    # Two equal transfers over a shared link each take twice as long.
+    assert durations[0] == pytest.approx(20.0, rel=1e-6)
+    assert durations[1] == pytest.approx(20.0, rel=1e-6)
+
+
+def test_short_transfer_finishes_then_long_speeds_up():
+    env = Environment()
+    svc = TransferService(env, simple_topology())
+
+    def run():
+        long = svc.transfer("A", "B", 100 * MB)
+        short = svc.transfer("A", "B", 20 * MB)
+        results = yield env.all_of([long, short])
+        by_bytes = {s.nbytes: s for s in results.values()}
+        return by_bytes
+
+    by_bytes = env.run_process(run())
+    # Shared until the short one's 20 MB complete at t=4 (10 MB each by then);
+    # the long one then runs alone: 4 + (100-20)/10 = 12? No: at t=4 each
+    # moved 2 s * 5 MB/s... with fair sharing each gets 5 MB/s, short
+    # finishes at t=4, long has 80 MB left at full 10 MB/s -> t=12.
+    assert by_bytes[20 * MB].duration == pytest.approx(4.0, rel=1e-6)
+    assert by_bytes[100 * MB].duration == pytest.approx(12.0, rel=1e-6)
+
+
+def test_disjoint_links_do_not_contend():
+    topo = Topology()
+    topo.connect("A", "B", 0.0, 10 * MB)
+    topo.connect("C", "D", 0.0, 10 * MB)
+    env = Environment()
+    svc = TransferService(env, topo)
+
+    def run():
+        t1 = svc.transfer("A", "B", 100 * MB)
+        t2 = svc.transfer("C", "D", 100 * MB)
+        results = yield env.all_of([t1, t2])
+        return [s.duration for s in results.values()]
+
+    durations = env.run_process(run())
+    assert all(d == pytest.approx(10.0, rel=1e-6) for d in durations)
+
+
+def test_multi_hop_transfer_limited_by_bottleneck():
+    topo = Topology()
+    topo.connect("A", "B", 0.0, 100 * MB)
+    topo.connect("B", "C", 0.0, 10 * MB)
+    env = Environment()
+    svc = TransferService(env, topo)
+
+    def run():
+        stats = yield svc.transfer("A", "C", 100 * MB)
+        return stats
+
+    stats = env.run_process(run())
+    assert stats.duration == pytest.approx(10.0, rel=1e-6)
+
+
+def test_zero_byte_transfer_completes():
+    env = Environment()
+    svc = TransferService(env, simple_topology())
+
+    def run():
+        stats = yield svc.transfer("A", "B", 0.0)
+        return stats
+
+    stats = env.run_process(run())
+    assert stats.nbytes == 0.0
+
+
+def test_completed_history_is_recorded():
+    env = Environment()
+    svc = TransferService(env, simple_topology())
+
+    def run():
+        yield svc.transfer("A", "B", MB)
+        yield svc.transfer("B", "A", 2 * MB)
+
+    env.run_process(run())
+    assert [s.nbytes for s in svc.completed] == [MB, 2 * MB]
+
+
+def test_effective_bandwidth_reported():
+    env = Environment()
+    svc = TransferService(env, simple_topology())
+
+    def run():
+        stats = yield svc.transfer("A", "B", 100 * MB)
+        return stats
+
+    stats = env.run_process(run())
+    assert stats.effective_bandwidth_bps == pytest.approx(10 * MB, rel=1e-6)

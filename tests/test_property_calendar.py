@@ -1,0 +1,84 @@
+"""Property-based tests for execution-window arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SECONDS_PER_WEEK, ExecutionWindow
+
+times = st.floats(min_value=0.0, max_value=10 * SECONDS_PER_WEEK,
+                  allow_nan=False)
+
+
+@st.composite
+def windows(draw):
+    n_intervals = draw(st.integers(min_value=1, max_value=4))
+    intervals = []
+    for _ in range(n_intervals):
+        day = draw(st.integers(0, 6))
+        start = draw(st.integers(0, 22))
+        end = draw(st.integers(min_value=start + 1, max_value=24))
+        intervals.append((day, float(start), float(end)))
+    return ExecutionWindow(intervals)
+
+
+@given(windows(), times)
+def test_next_open_is_at_or_after_and_inside(window, time):
+    opens = window.next_open(time)
+    assert opens >= time
+    assert window.contains(opens)
+
+
+@given(windows(), times)
+def test_next_open_is_tight(window, time):
+    """Nothing strictly between ``time`` and ``next_open`` is open.
+
+    Probed at interval boundaries (hour marks), which is where windows can
+    only change state.
+    """
+    opens = window.next_open(time)
+    probe = time
+    while probe < opens - 1.0:
+        assert not window.contains(probe)
+        probe += 1800.0
+
+
+@given(windows(), times)
+def test_weekly_periodicity(window, time):
+    assert window.contains(time) == window.contains(time + SECONDS_PER_WEEK)
+
+
+@given(windows(), times)
+def test_current_close_is_after_and_boundary(window, time):
+    opens = window.next_open(time)
+    closes = window.current_close(opens)
+    assert closes > opens
+    # Just before the close is open; just after is closed (or a wrapped
+    # continuation, in which case current_close already chained past it).
+    assert window.contains(closes - 1.0)
+    assert not window.contains(closes + 1e-6) or closes - opens >= 3600.0
+
+
+@given(windows(), times, st.floats(min_value=0, max_value=SECONDS_PER_WEEK,
+                                   allow_nan=False))
+def test_open_seconds_bounded_and_additive(window, start, span):
+    end = start + span
+    middle = start + span / 2
+    total = window.open_seconds_between(start, end)
+    assert 0.0 <= total <= span + 1e-6
+    left = window.open_seconds_between(start, middle)
+    right = window.open_seconds_between(middle, end)
+    assert abs((left + right) - total) < 1e-3
+
+
+@given(windows())
+def test_full_week_open_time_matches_interval_sum(window):
+    one_week = window.open_seconds_between(0.0, SECONDS_PER_WEEK)
+    two_weeks = window.open_seconds_between(0.0, 2 * SECONDS_PER_WEEK)
+    assert abs(two_weeks - 2 * one_week) < 1e-3
+
+
+@given(times)
+def test_always_window_is_always_open(time):
+    window = ExecutionWindow.always()
+    assert window.contains(time)
+    assert window.next_open(time) == time

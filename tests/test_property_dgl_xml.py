@@ -1,0 +1,130 @@
+"""Property-based test: DGL XML round-trips arbitrary generated documents."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dgl import (
+    Action,
+    DataGridRequest,
+    DocumentMetadata,
+    Flow,
+    FlowLogic,
+    FlowStatusQuery,
+    ForEach,
+    Operation,
+    Parallel,
+    Repeat,
+    Sequential,
+    Step,
+    SwitchCase,
+    UserDefinedRule,
+    Variable,
+    WhileLoop,
+    request_from_xml,
+    request_to_xml,
+)
+
+names = st.from_regex(r"[a-z][a-z0-9_-]{0,10}", fullmatch=True)
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+#: XML-safe scalar values (control chars and surrogates are out of scope
+#: for the wire format; newlines/tabs are normalized by XML attributes).
+scalars = st.one_of(
+    st.none(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF,
+                                   blacklist_characters="\x7f"),
+            max_size=20),
+)
+
+operations = st.builds(
+    Operation,
+    name=names,
+    parameters=st.dictionaries(identifiers, scalars, max_size=3),
+    assign_to=st.none() | identifiers)
+
+actions = st.builds(Action, name=names, operation=operations)
+
+
+@st.composite
+def rules(draw):
+    n_actions = draw(st.integers(min_value=1, max_value=3))
+    action_list = []
+    seen = set()
+    for _ in range(n_actions):
+        action = draw(actions)
+        if action.name in seen:
+            continue
+        seen.add(action.name)
+        action_list.append(action)
+    return UserDefinedRule(name=draw(names),
+                           condition=draw(st.sampled_from(
+                               ["true", "count < 3", "'go'"])),
+                           actions=action_list)
+
+
+patterns = st.one_of(
+    st.builds(Sequential),
+    st.builds(Parallel, max_concurrent=st.integers(0, 8)),
+    st.builds(WhileLoop, condition=st.sampled_from(["count < 2", "false"])),
+    st.builds(Repeat, count=st.integers(0, 5)),
+    st.builds(ForEach, item_variable=identifiers,
+              collection=st.just("/data"),
+              query=st.none() | st.just("size > 10")),
+    st.builds(SwitchCase, expression=st.just("mode"), default=st.none()),
+)
+
+variables = st.builds(Variable, name=identifiers, value=scalars)
+
+steps = st.builds(
+    Step, name=names, operation=operations,
+    variables=st.lists(variables, max_size=2, unique_by=lambda v: v.name),
+    rules=st.lists(rules(), max_size=1, unique_by=lambda r: r.name),
+    requirements=st.dictionaries(identifiers, scalars.filter(
+        lambda v: v is not None), max_size=2))
+
+
+@st.composite
+def flows(draw, depth=0):
+    logic = FlowLogic(pattern=draw(patterns),
+                      rules=draw(st.lists(rules(), max_size=2,
+                                          unique_by=lambda r: r.name)))
+    if depth >= 2 or draw(st.booleans()):
+        children = draw(st.lists(steps, max_size=3,
+                                 unique_by=lambda s: s.name))
+    else:
+        children = draw(st.lists(flows(depth=depth + 1), max_size=2,
+                                 unique_by=lambda f: f.name))
+    return Flow(name=draw(names), logic=logic,
+                variables=draw(st.lists(variables, max_size=3,
+                                        unique_by=lambda v: v.name)),
+                children=children)
+
+
+requests = st.builds(
+    DataGridRequest,
+    user=st.just("user@domain"),
+    virtual_organization=names,
+    body=st.one_of(flows(),
+                   st.builds(FlowStatusQuery,
+                             request_id=st.just("dgr-000001"),
+                             path=st.none() | st.just("a/b"))),
+    metadata=st.builds(DocumentMetadata,
+                       document_id=st.none() | names,
+                       created_at=st.none() | st.floats(0, 1e9),
+                       description=st.none() | names),
+    asynchronous=st.booleans())
+
+
+@settings(max_examples=150, deadline=None)
+@given(requests)
+def test_xml_round_trip_is_identity(request):
+    assert request_from_xml(request_to_xml(request)) == request
+
+
+@settings(max_examples=50, deadline=None)
+@given(requests)
+def test_double_round_trip_is_stable(request):
+    once = request_to_xml(request)
+    twice = request_to_xml(request_from_xml(once))
+    assert once == twice

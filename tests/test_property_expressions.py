@@ -1,0 +1,123 @@
+"""Property-based tests for the DGL expression language."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.dgl import Scope, evaluate, render_template
+
+# -- strategies ----------------------------------------------------------
+
+import keyword
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in ("true", "false", "null")
+    and not keyword.iskeyword(s))
+
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def arithmetic(draw, depth=0):
+    """A random arithmetic expression string plus its expected value."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(small_ints)
+        return (f"({value})" if value < 0 else str(value)), value
+    left_text, left = draw(arithmetic(depth + 1))
+    right_text, right = draw(arithmetic(depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    text = f"({left_text} {op} {right_text})"
+    result = {"+": left + right, "-": left - right,
+              "*": left * right}[op]
+    return text, result
+
+
+# -- evaluation properties ------------------------------------------------------
+
+@given(arithmetic())
+def test_arithmetic_matches_python(expression):
+    text, expected = expression
+    assert evaluate(text, {}) == expected
+
+
+@given(small_ints, small_ints)
+def test_comparisons_are_consistent(a, b):
+    scope = {"a": a, "b": b}
+    assert evaluate("a < b", scope) == (a < b)
+    assert evaluate("a == b", scope) == (a == b)
+    assert evaluate("a >= b", scope) == (a >= b)
+    # Trichotomy: exactly one of <, ==, > holds.
+    outcomes = [evaluate("a < b", scope), evaluate("a == b", scope),
+                evaluate("a > b", scope)]
+    assert outcomes.count(True) == 1
+
+
+@given(identifiers, small_ints)
+def test_variable_lookup_round_trip(name, value):
+    assert evaluate(name, {name: value}) == value
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="${}"),
+               max_size=40))
+def test_template_without_placeholder_is_identity(text):
+    assert render_template(text, {}) == text
+
+
+@given(identifiers, small_ints)
+def test_full_template_preserves_type(name, value):
+    result = render_template(f"${{{name}}}", {name: value})
+    assert result == value
+    assert isinstance(result, int)
+
+
+@given(identifiers, small_ints,
+       st.text(alphabet="abc/-.", max_size=10),
+       st.text(alphabet="abc/-.", max_size=10))
+def test_embedded_template_concatenates(name, value, prefix, suffix):
+    if not prefix and not suffix:
+        return   # a bare ${...} is the full-template (typed) case
+    result = render_template(f"{prefix}${{{name}}}{suffix}", {name: value})
+    assert result == f"{prefix}{value}{suffix}"
+
+
+@given(identifiers)
+def test_undefined_variables_always_raise(name):
+    with pytest.raises(ExpressionError):
+        evaluate(name, {})
+
+
+# -- scope properties -------------------------------------------------------
+
+@given(st.dictionaries(identifiers, small_ints, max_size=5),
+       st.dictionaries(identifiers, small_ints, max_size=5))
+def test_scope_shadowing_law(outer_bindings, inner_bindings):
+    outer = Scope()
+    for name, value in outer_bindings.items():
+        outer.declare(name, value)
+    inner = Scope(parent=outer)
+    for name, value in inner_bindings.items():
+        inner.declare(name, value)
+    merged = dict(outer_bindings)
+    merged.update(inner_bindings)
+    assert inner.flatten() == merged
+    for name, value in merged.items():
+        assert inner.lookup(name) == value
+    # Outer scope never sees inner-only names.
+    for name in set(inner_bindings) - set(outer_bindings):
+        assert name not in outer
+
+
+@given(st.dictionaries(identifiers, small_ints, min_size=1, max_size=5),
+       small_ints)
+def test_assign_rebinds_at_declaration_site(bindings, new_value):
+    outer = Scope()
+    for name, value in bindings.items():
+        outer.declare(name, value)
+    inner = Scope(parent=outer)
+    target = sorted(bindings)[0]
+    inner.assign(target, new_value)
+    assert outer.lookup(target) == new_value    # reached the declaration
+    assert inner.flatten()[target] == new_value

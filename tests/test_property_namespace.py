@@ -1,0 +1,132 @@
+"""Stateful property test: logical-namespace invariants under random ops.
+
+A hypothesis state machine performs random creates, moves, and removes,
+mirroring them in a plain-dict model; after every step the namespace must
+agree with the model and maintain its structural invariants (every node's
+derived path resolves back to itself; walk visits each collection exactly
+once; GUIDs never change).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import NamespaceError
+from repro.grid import Collection, DataObject, LogicalNamespace, User
+
+ALICE = User("alice", "sdsc")
+
+names = st.sampled_from(["a", "b", "c", "dir1", "dir2", "file1", "file2"])
+
+
+class NamespaceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.namespace = LogicalNamespace()
+        #: model: path -> "collection" | (guid for objects)
+        self.model = {"/": "collection"}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _model_collections(self):
+        return [path for path, kind in self.model.items()
+                if kind == "collection"]
+
+    def _model_objects(self):
+        return [path for path, kind in self.model.items()
+                if kind != "collection"]
+
+    def _child_path(self, parent, name):
+        return parent + name if parent == "/" else f"{parent}/{name}"
+
+    # -- rules ------------------------------------------------------------
+
+    @rule(data=st.data(), name=names)
+    def create_collection(self, data, name):
+        parent = data.draw(st.sampled_from(self._model_collections()))
+        path = self._child_path(parent, name)
+        if path in self.model:
+            return
+        self.namespace.create_collection(path, ALICE, 0.0)
+        self.model[path] = "collection"
+
+    @rule(data=st.data(), name=names,
+          size=st.integers(min_value=0, max_value=1000))
+    def create_object(self, data, name, size):
+        parent = data.draw(st.sampled_from(self._model_collections()))
+        path = self._child_path(parent, name)
+        if path in self.model:
+            return
+        obj = self.namespace.create_object(path, float(size), ALICE, 0.0)
+        self.model[path] = obj.guid
+
+    @precondition(lambda self: self._model_objects())
+    @rule(data=st.data(), name=names)
+    def move_object(self, data, name):
+        src = data.draw(st.sampled_from(self._model_objects()))
+        parent = data.draw(st.sampled_from(self._model_collections()))
+        dst = self._child_path(parent, name)
+        if dst in self.model or dst == src:
+            return
+        guid_before = self.namespace.resolve_object(src).guid
+        self.namespace.move(src, dst)
+        self.model[dst] = self.model.pop(src)
+        assert self.namespace.resolve_object(dst).guid == guid_before
+
+    @precondition(lambda self: self._model_objects())
+    @rule(data=st.data())
+    def remove_object(self, data):
+        path = data.draw(st.sampled_from(self._model_objects()))
+        self.namespace.remove(path)
+        del self.model[path]
+
+    @precondition(lambda self: len(self._model_collections()) > 1)
+    @rule(data=st.data())
+    def remove_empty_collection(self, data):
+        path = data.draw(st.sampled_from(
+            [p for p in self._model_collections() if p != "/"]))
+        has_children = any(other != path and other.startswith(path + "/")
+                           for other in self.model)
+        if has_children:
+            try:
+                self.namespace.remove(path)
+                raise AssertionError("removed a non-empty collection")
+            except NamespaceError:
+                return
+        self.namespace.remove(path)
+        del self.model[path]
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def model_agrees_with_namespace(self):
+        for path, kind in self.model.items():
+            node = self.namespace.resolve(path)
+            if kind == "collection":
+                assert isinstance(node, Collection)
+            else:
+                assert isinstance(node, DataObject)
+                assert node.guid == kind
+
+    @invariant()
+    def paths_resolve_to_themselves(self):
+        for collection, subcollections, objects in self.namespace.walk("/"):
+            for node in [collection, *subcollections, *objects]:
+                assert self.namespace.resolve(node.path) is node
+
+    @invariant()
+    def walk_visits_every_collection_once(self):
+        visited = [collection.path
+                   for collection, _, _ in self.namespace.walk("/")]
+        assert len(visited) == len(set(visited))
+        assert sorted(visited) == sorted(self._model_collections())
+
+
+NamespaceMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None)
+TestNamespaceMachine = NamespaceMachine.TestCase

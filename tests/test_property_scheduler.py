@@ -1,0 +1,137 @@
+"""Property-based tests for scheduling heuristics and DAG scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfms.compute import ComputeResource
+from repro.dfms.scheduler import (
+    CostModel,
+    TaskGraph,
+    TaskSpec,
+    schedule_heft,
+    schedule_tasks,
+)
+from repro.grid import DataGridManagementSystem
+from repro.network import Topology
+from repro.sim import Environment, RandomStreams
+
+
+def cost_model():
+    env = Environment()
+    topology = Topology.full_mesh(["d0", "d1", "d2"], 0.01, 10e6)
+    dgms = DataGridManagementSystem(env, topology)
+    return CostModel(dgms)
+
+
+task_lists = st.lists(
+    st.floats(min_value=0.1, max_value=500.0, allow_nan=False),
+    min_size=1, max_size=15).map(
+        lambda durations: [TaskSpec(name=f"t{i:03d}", duration=d)
+                           for i, d in enumerate(durations)])
+
+
+@st.composite
+def resource_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    resources = []
+    for index in range(n):
+        resources.append(ComputeResource(
+            name=f"r{index}", domain=f"d{index % 3}",
+            cores=draw(st.integers(1, 4)),
+            speed_factor=draw(st.floats(0.5, 4.0))))
+    return resources
+
+
+POLICY_NAMES = ("random", "round_robin", "greedy", "min_min",
+                "max_min", "sufferage")
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_lists, resource_lists(),
+       st.sampled_from(POLICY_NAMES))
+def test_every_policy_assigns_every_task_once(tasks, resources, policy):
+    plan = schedule_tasks(tasks, resources, cost_model(), policy=policy,
+                          rng=RandomStreams(5).stream("sched"))
+    assert len(plan.assignments) == len(tasks)
+    assigned = sorted(a.task.name for a in plan.assignments)
+    assert assigned == sorted(t.name for t in tasks)
+    for assignment in plan.assignments:
+        assert assignment.resource in resources
+        assert assignment.estimated_finish >= assignment.estimated_start
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_lists, resource_lists(),
+       st.sampled_from(POLICY_NAMES))
+def test_makespan_respects_physical_lower_bounds(tasks, resources, policy):
+    plan = schedule_tasks(tasks, resources, cost_model(), policy=policy,
+                          rng=RandomStreams(5).stream("sched"))
+    fastest = max(r.speed_factor for r in resources)
+    capacity = sum(r.cores * r.speed_factor for r in resources)
+    total_work = sum(t.duration for t in tasks)
+    longest = max(t.duration for t in tasks)
+    lower = max(longest / fastest, total_work / capacity)
+    assert plan.makespan >= lower * (1 - 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_lists, resource_lists())
+def test_best_informed_never_loses_to_round_robin_badly(tasks, resources):
+    """Empirical regression bound: the best informed heuristic stays
+    within 1.5x of round-robin.
+
+    Note greedy *alone* is provably non-dominant (hypothesis found the
+    classic myopic counterexample: durations [1,1,2] on speeds [2,1]
+    gives greedy 2.0 vs round-robin 1.5), which is precisely why the
+    scheduler ships a portfolio of heuristics.
+    """
+    model = cost_model()
+    best_informed = min(
+        schedule_tasks(tasks, resources, model, policy=policy).makespan
+        for policy in ("greedy", "min_min", "max_min"))
+    round_robin = schedule_tasks(tasks, resources, model,
+                                 policy="round_robin")
+    assert best_informed <= round_robin.makespan * 1.5 + 1e-9
+
+
+@st.composite
+def dags(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    graph = TaskGraph()
+    names = []
+    for index in range(n):
+        name = f"t{index:03d}"
+        names.append(name)
+        graph.add_task(TaskSpec(
+            name=name,
+            duration=draw(st.floats(1.0, 100.0))))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()) and draw(st.booleans()):
+                graph.add_edge(names[i], names[j],
+                               nbytes=draw(st.floats(0, 1e8)))
+    return graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags(), resource_lists())
+def test_heft_respects_every_dependency(graph, resources):
+    plan = schedule_heft(graph, resources, cost_model())
+    finish = {a.task.name: a.estimated_finish for a in plan.assignments}
+    start = {a.task.name: a.estimated_start for a in plan.assignments}
+    assert len(plan.assignments) == len(graph)
+    for task in graph.tasks():
+        for predecessor, _ in graph.predecessors(task.name):
+            assert start[task.name] >= finish[predecessor.name] - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags())
+def test_topological_order_is_valid(graph):
+    order = [t.name for t in graph.topological_order()]
+    position = {name: index for index, name in enumerate(order)}
+    assert len(order) == len(graph)
+    for task in graph.tasks():
+        for predecessor, _ in graph.predecessors(task.name):
+            assert position[predecessor.name] < position[task.name]

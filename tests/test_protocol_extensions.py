@@ -1,0 +1,165 @@
+"""Tests for one-way messages, multi-lookup failover, and fed.copy."""
+
+import pytest
+
+from repro.errors import P2PError
+from repro.dfms import DfMSNetwork, DfMSServer, LookupServer
+from repro.dgl import (
+    DataGridRequest,
+    ExecutionState,
+    FlowStatusQuery,
+    flow_builder,
+)
+from repro.grid import Federation, Permission
+from repro.storage import MB
+
+
+# -- one-way messages (Appendix A) -------------------------------------------
+
+def test_oneway_executes_without_response(dfms):
+    flow = (flow_builder("silent")
+            .step("mk", "srb.put", path="/home/alice/oneway.dat",
+                  size=MB, resource="sdsc-disk")
+            .build())
+    result = dfms.server.submit_oneway(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=flow))
+    assert result is None
+    dfms.env.run()
+    assert dfms.dgms.namespace.exists("/home/alice/oneway.dat")
+
+
+def test_oneway_drops_invalid_documents_silently(dfms):
+    flow = flow_builder("typo").step("s", "no.such.op").build()
+    assert dfms.server.submit_oneway(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=flow)) is None
+    assert dfms.server.running_count == 0
+
+
+def test_oneway_status_query_is_a_noop(dfms):
+    assert dfms.server.submit_oneway(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=FlowStatusQuery(request_id="x"))) is None
+
+
+# -- multiple lookup servers (§3.2 "one or more") ------------------------------
+
+@pytest.fixture
+def two_lookups(dfms):
+    peer2 = DfMSServer(dfms.env, dfms.dgms, name="matrix-2")
+    primary = LookupServer("lookup-1", "sdsc")
+    backup = LookupServer("lookup-2", "ucsd")
+    for lookup in (primary, backup):
+        lookup.register(dfms.server, "sdsc")
+        lookup.register(peer2, "ucsd")
+    network = DfMSNetwork(dfms.env, dfms.dgms.topology, [primary, backup])
+    return dfms, network, primary, backup
+
+
+def submit_one(dfms, network):
+    flow = flow_builder("job").step("s", "dgl.sleep", duration=1).build()
+
+    def go():
+        response, name = yield from network.submit(DataGridRequest(
+            user=dfms.alice.qualified_name, virtual_organization="vo",
+            body=flow, asynchronous=True), "sdsc")
+        return response, name
+
+    return dfms.run(go())
+
+
+def test_primary_lookup_used_when_alive(two_lookups):
+    dfms, network, primary, backup = two_lookups
+    response, _ = submit_one(dfms, network)
+    assert response.body.valid
+    assert primary.referrals == 1
+    assert backup.referrals == 0
+
+
+def test_failover_to_backup_lookup(two_lookups):
+    dfms, network, primary, backup = two_lookups
+    primary.online = False
+    before = network.messages_sent
+    response, _ = submit_one(dfms, network)
+    assert response.body.valid
+    assert backup.referrals == 1
+    # The dead primary cost a probe round trip (2 extra messages).
+    assert network.messages_sent - before == 6
+
+
+def test_all_lookups_dead_raises(two_lookups):
+    dfms, network, primary, backup = two_lookups
+    primary.online = False
+    backup.online = False
+    with pytest.raises(P2PError, match="no lookup server"):
+        submit_one(dfms, network)
+
+
+def test_empty_lookup_list_rejected(dfms):
+    with pytest.raises(P2PError):
+        DfMSNetwork(dfms.env, dfms.dgms.topology, [])
+
+
+def test_status_query_routes_without_lookup_hop(two_lookups):
+    dfms, network, primary, backup = two_lookups
+    response, served_by = submit_one(dfms, network)
+    dfms.env.run()
+    before = network.messages_sent
+
+    def query():
+        result, _ = yield from network.query_status(DataGridRequest(
+            user=dfms.alice.qualified_name, virtual_organization="vo",
+            body=FlowStatusQuery(request_id=response.request_id)), "sdsc")
+        return result
+
+    result = dfms.run(query())
+    assert result.body.state is ExecutionState.COMPLETED
+    # Only the peer round trip: the name->address map is client-cached.
+    assert network.messages_sent - before == 2
+
+
+# -- fed.copy ------------------------------------------------------------------
+
+def test_fed_copy_from_a_flow(dfms):
+    """A flow copies an object in from a federated peer grid."""
+    from tests.test_grid_federation import make_zone
+
+    fed = Federation(dfms.env)
+    uk, uk_admin, _ = make_zone(dfms.env, "ral", "uk-disk")
+    fed.add_zone("usgrid", dfms.dgms)   # dfms's own grid is the US zone
+    fed.add_zone("ukgrid", uk)
+    dfms.server.federation = fed
+
+    def seed():
+        yield uk.put(uk_admin, "/data/obs.dat", 5 * MB, "ral-disk",
+                     metadata={"survey": "uk-2005"})
+        uk.grant(uk_admin, "/data/obs.dat",
+                 dfms.alice.qualified_name, Permission.READ)
+
+    dfms.run(seed())
+
+    flow = (flow_builder("pull-in")
+            .step("copy", "fed.copy", assign_to="local",
+                  src_zone="ukgrid", src_path="/data/obs.dat",
+                  dst_zone="usgrid", dst_path="/home/alice/obs.dat",
+                  dst_resource="sdsc-disk")
+            .step("tag", "srb.set_metadata", path="${local}",
+                  attribute="imported", value=1)
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.COMPLETED
+    obj = dfms.dgms.namespace.resolve_object("/home/alice/obs.dat")
+    assert obj.metadata.get("survey") == "uk-2005"
+    assert obj.metadata.get("imported") == 1
+    assert obj.metadata.get("federation:source") == "ukgrid:/data/obs.dat"
+
+
+def test_fed_copy_without_federation_fails(dfms):
+    flow = (flow_builder("orphan")
+            .step("copy", "fed.copy", src_zone="a", src_path="/x",
+                  dst_zone="b", dst_path="/y", dst_resource="r")
+            .build())
+    response = dfms.submit_sync(flow)
+    assert response.body.state is ExecutionState.FAILED
+    assert "federation" in response.body.error

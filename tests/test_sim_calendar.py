@@ -1,0 +1,131 @@
+"""Unit tests for virtual-calendar execution windows."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+    ExecutionWindow,
+    day_of_week,
+    hour_of_day,
+)
+from repro.sim.calendar import FRIDAY, MONDAY, SATURDAY, SUNDAY
+
+
+def at(day, hour):
+    """Virtual time for ``day``/``hour`` in week zero."""
+    return day * SECONDS_PER_DAY + hour * SECONDS_PER_HOUR
+
+
+def test_day_of_week_epoch_is_monday():
+    assert day_of_week(0.0) == MONDAY
+    assert day_of_week(5 * SECONDS_PER_DAY) == SATURDAY
+    assert day_of_week(SECONDS_PER_WEEK) == MONDAY
+
+
+def test_hour_of_day():
+    assert hour_of_day(at(2, 13.5)) == 13.5
+
+
+def test_always_window_contains_everything():
+    window = ExecutionWindow.always()
+    for t in (0.0, at(3, 12), at(6, 23.99), 10 * SECONDS_PER_WEEK + 5):
+        assert window.contains(t)
+
+
+def test_weekends_window():
+    window = ExecutionWindow.weekends()
+    assert not window.contains(at(FRIDAY, 23.99))
+    assert window.contains(at(SATURDAY, 0))
+    assert window.contains(at(SUNDAY, 23.5))
+    assert not window.contains(at(MONDAY, 0) + SECONDS_PER_WEEK)
+
+
+def test_window_repeats_weekly():
+    window = ExecutionWindow.weekends()
+    t = at(SATURDAY, 10)
+    for week in range(5):
+        assert window.contains(t + week * SECONDS_PER_WEEK)
+
+
+def test_nightly_window_wraps_midnight():
+    window = ExecutionWindow.nightly(start_hour=20, end_hour=6)
+    assert window.contains(at(1, 22))
+    assert window.contains(at(2, 3))      # early morning belongs to the night
+    assert not window.contains(at(2, 12))
+    assert window.contains(at(0, 2))      # Monday 02:00 (Sunday-night wrap)
+
+
+def test_next_open_inside_window_is_identity():
+    window = ExecutionWindow.weekends()
+    t = at(SATURDAY, 5)
+    assert window.next_open(t) == t
+
+
+def test_next_open_jumps_to_window_start():
+    window = ExecutionWindow.weekends()
+    assert window.next_open(at(MONDAY, 9)) == at(SATURDAY, 0)
+    # From Sunday night after the window, jump into next week's Saturday.
+    late_sunday = at(SUNDAY, 23) + SECONDS_PER_HOUR  # Monday 00:00 next week
+    assert window.next_open(late_sunday) == at(SATURDAY, 0) + SECONDS_PER_WEEK
+
+
+def test_current_close():
+    window = ExecutionWindow.weekends()
+    assert window.current_close(at(SATURDAY, 12)) == at(SUNDAY, 24)
+    with pytest.raises(SimError):
+        window.current_close(at(MONDAY, 12))
+
+
+def test_current_close_chains_wraparound():
+    window = ExecutionWindow.nightly(start_hour=20, end_hour=6)
+    # Tuesday 22:00 -> closes Wednesday 06:00.
+    assert window.current_close(at(1, 22)) == at(2, 6)
+
+
+def test_non_working_hours_window():
+    window = ExecutionWindow.non_working_hours()
+    assert not window.contains(at(MONDAY, 12))     # working hours
+    assert window.contains(at(MONDAY, 19))         # weeknight
+    assert window.contains(at(MONDAY, 6))          # early morning
+    assert window.contains(at(SATURDAY, 14))       # weekend afternoon
+
+
+def test_open_seconds_between():
+    window = ExecutionWindow.weekends()
+    # One full week contains exactly two days of weekend.
+    assert window.open_seconds_between(0.0, SECONDS_PER_WEEK) == 2 * SECONDS_PER_DAY
+    # Monday through Friday contains none.
+    assert window.open_seconds_between(at(MONDAY, 0), at(FRIDAY, 24)) == 0.0
+
+
+def test_empty_interval_list_rejected():
+    with pytest.raises(SimError):
+        ExecutionWindow([])
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(SimError):
+        ExecutionWindow([(9, 0, 24)])
+    with pytest.raises(SimError):
+        ExecutionWindow([(0, 10, 9)])
+
+
+def test_current_close_in_wrap_tail_is_next_week():
+    """Regression: a time in the late-Sunday tail of a wrap-around window
+    must close early *next* week, never in the past (this looped
+    open_seconds_between forever before the fix)."""
+    window = ExecutionWindow([(SUNDAY, 20, 24), (MONDAY, 0, 6)])
+    sunday_night = at(SUNDAY, 22)
+    close = window.current_close(sunday_night)
+    assert close > sunday_night
+    assert close == at(MONDAY, 6) + SECONDS_PER_WEEK
+    # And the accounting built on it terminates and is exact:
+    # per week, Sun 20-24 (4h) + Mon 0-6 (6h) = 10 hours.
+    assert window.open_seconds_between(0.0, SECONDS_PER_WEEK) == \
+        10 * 3600.0
+    assert window.open_seconds_between(sunday_night,
+                                       sunday_night + SECONDS_PER_WEEK) == \
+        10 * 3600.0

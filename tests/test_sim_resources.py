@@ -1,0 +1,103 @@
+"""Unit tests for capacity-limited simulation resources."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim import Environment, Resource
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(SimError):
+        Resource(Environment(), capacity=0)
+
+
+def test_slots_granted_immediately_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2 = res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert res.count == 2
+    r3 = res.request()
+    assert not r3.triggered
+    assert res.queue_length == 1
+
+
+def test_release_wakes_fifo_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(tag, duration):
+        req = res.request()
+        yield req
+        order.append(("start", tag, env.now))
+        yield env.timeout(duration)
+        res.release(req)
+        order.append(("end", tag, env.now))
+
+    env.process(worker("a", 5.0))
+    env.process(worker("b", 3.0))
+    env.run()
+    assert order == [
+        ("start", "a", 0.0), ("end", "a", 5.0),
+        ("start", "b", 5.0), ("end", "b", 8.0),
+    ]
+
+
+def test_context_manager_releases_on_exit():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    done = []
+
+    def worker(tag):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        done.append((tag, env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+    assert res.count == 0
+
+
+def test_double_release_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    res.release(req)
+    res.release(req)
+    assert res.count == 0
+
+
+def test_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()
+    waiting = res.request()
+    waiting.cancel()
+    assert res.queue_length == 0
+    res.release(held)
+    assert not waiting.triggered
+
+
+def test_parallel_capacity_shapes_makespan():
+    """Doubling the slot count roughly halves completion for even workloads."""
+    def run(capacity):
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+
+        def worker():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        for _ in range(8):
+            env.process(worker())
+        env.run()
+        return env.now
+
+    assert run(1) == 80.0
+    assert run(2) == 40.0
+    assert run(8) == 10.0

@@ -1,0 +1,81 @@
+"""Tests for per-device I/O channel contention at the DGMS."""
+
+import pytest
+
+from repro.grid import DataGridManagementSystem
+from repro.network import Topology
+from repro.sim import Environment
+from repro.storage import GB, MB, PhysicalStorageResource, StorageClass
+
+
+def build(channels):
+    env = Environment()
+    topology = Topology()
+    topology.add_domain("sdsc")
+    dgms = DataGridManagementSystem(env, topology)
+    dgms.register_domain("sdsc")
+    disk = PhysicalStorageResource("disk-1", StorageClass.DISK, 100 * GB,
+                                   channels=channels)
+    dgms.register_resource("disk", "sdsc", disk)
+    user = dgms.register_user("u", "sdsc")
+    dgms.create_collection(user, "/d", parents=True)
+    return env, dgms, user
+
+
+def concurrent_puts(env, dgms, user, count, size):
+    processes = [dgms.put(user, f"/d/f{index}.dat", size, "disk")
+                 for index in range(count)]
+
+    def waiter():
+        yield env.all_of(processes)
+
+    env.run_process(waiter())
+    return env.now
+
+
+def test_channels_validation():
+    with pytest.raises(Exception):
+        PhysicalStorageResource("d", StorageClass.DISK, GB, channels=-1)
+
+
+def test_unlimited_channels_overlap_fully():
+    env, dgms, user = build(channels=0)
+    elapsed = concurrent_puts(env, dgms, user, count=4, size=50 * MB)
+    single_write = dgms.resources.physical("disk-1").physical.model \
+        .write_time(50 * MB)
+    assert elapsed == pytest.approx(single_write)
+
+
+def test_single_channel_serializes_ios():
+    env, dgms, user = build(channels=1)
+    elapsed = concurrent_puts(env, dgms, user, count=4, size=50 * MB)
+    single_write = dgms.resources.physical("disk-1").physical.model \
+        .write_time(50 * MB)
+    assert elapsed == pytest.approx(4 * single_write)
+
+
+def test_two_channels_halve_the_queue():
+    env, dgms, user = build(channels=2)
+    elapsed = concurrent_puts(env, dgms, user, count=4, size=50 * MB)
+    single_write = dgms.resources.physical("disk-1").physical.model \
+        .write_time(50 * MB)
+    assert elapsed == pytest.approx(2 * single_write)
+
+
+def test_channel_pool_is_shared_across_operation_kinds():
+    """A long write delays a concurrent read on a one-channel device."""
+    env, dgms, user = build(channels=1)
+
+    def scenario():
+        yield dgms.put(user, "/d/existing.dat", MB, "disk")
+        start = env.now
+        write = dgms.put(user, "/d/big.dat", 100 * MB, "disk")
+        read = dgms.get(user, "/d/existing.dat", "sdsc")
+        yield env.all_of([write, read])
+        return env.now - start
+
+    elapsed = env.run_process(scenario())
+    physical = dgms.resources.physical("disk-1").physical
+    write_time = physical.model.write_time(100 * MB)
+    read_time = physical.model.read_time(MB)
+    assert elapsed == pytest.approx(write_time + read_time)

@@ -1,0 +1,61 @@
+"""Unit tests for storage performance/cost models."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import GB, MB, MODEL_PRESETS, PerformanceModel, StorageClass
+
+
+def test_presets_cover_every_class():
+    assert set(MODEL_PRESETS) == set(StorageClass)
+
+
+def test_read_time_is_latency_plus_streaming():
+    model = PerformanceModel(access_latency_s=2.0, read_bandwidth_bps=100.0,
+                             write_bandwidth_bps=50.0, cost_per_gb_month=1.0)
+    assert model.read_time(1000.0) == 2.0 + 10.0
+    assert model.write_time(1000.0) == 2.0 + 20.0
+
+
+def test_zero_bytes_costs_only_latency():
+    model = MODEL_PRESETS[StorageClass.DISK]
+    assert model.read_time(0.0) == model.access_latency_s
+
+
+def test_negative_size_rejected():
+    model = MODEL_PRESETS[StorageClass.DISK]
+    with pytest.raises(StorageError):
+        model.read_time(-1.0)
+    with pytest.raises(StorageError):
+        model.write_time(-1.0)
+
+
+def test_archive_latency_dominates_small_reads():
+    """Tape mounts make small reads orders of magnitude slower than disk."""
+    disk = MODEL_PRESETS[StorageClass.DISK]
+    tape = MODEL_PRESETS[StorageClass.ARCHIVE]
+    assert tape.read_time(1 * MB) > 100 * disk.read_time(1 * MB)
+
+
+def test_archive_retention_far_cheaper_than_disk():
+    disk = MODEL_PRESETS[StorageClass.DISK]
+    tape = MODEL_PRESETS[StorageClass.ARCHIVE]
+    month = 30 * 24 * 3600.0
+    assert tape.retention_cost(GB, month) < disk.retention_cost(GB, month) / 10
+
+
+def test_retention_cost_scales_linearly():
+    model = MODEL_PRESETS[StorageClass.DISK]
+    month = 30 * 24 * 3600.0
+    one = model.retention_cost(GB, month)
+    assert model.retention_cost(2 * GB, month) == pytest.approx(2 * one)
+    assert model.retention_cost(GB, 2 * month) == pytest.approx(2 * one)
+
+
+def test_invalid_model_parameters_rejected():
+    with pytest.raises(StorageError):
+        PerformanceModel(-1.0, 1.0, 1.0, 1.0)
+    with pytest.raises(StorageError):
+        PerformanceModel(0.0, 0.0, 1.0, 1.0)
+    with pytest.raises(StorageError):
+        PerformanceModel(0.0, 1.0, 1.0, -1.0)
