@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.grid.dgms import DataGridManagementSystem
+from repro.grid.namespace import DataObject
 
 __all__ = ["Derivation", "VirtualDataCatalog"]
 
@@ -81,11 +82,12 @@ class VirtualDataCatalog:
         if derivation is None:
             self.misses += 1
             return None
-        if not self.dgms.namespace.exists(derivation.output_path):
+        # One namespace walk instead of a separate exists + resolve.
+        obj = self.dgms.namespace.try_resolve(derivation.output_path)
+        if not isinstance(obj, DataObject):
             del self._derivations[key]
             self.misses += 1
             return None
-        obj = self.dgms.namespace.resolve_object(derivation.output_path)
         if not obj.good_replicas():
             del self._derivations[key]
             self.misses += 1

@@ -6,6 +6,7 @@ resources, namespace events, and zone federation.
 """
 
 from repro.grid.acl import AccessControlList, Permission
+from repro.grid.catalog import GridCatalog
 from repro.grid.dgms import DataGridManagementSystem, OperationRecord
 from repro.grid.domains import AdministrativeDomain, DomainRegistry, DomainRole
 from repro.grid.events import EventBus, EventKind, EventPhase, NamespaceEvent
@@ -34,6 +35,7 @@ from repro.grid.users import User, UserRegistry
 __all__ = [
     "DataGridManagementSystem", "OperationRecord",
     "LogicalNamespace", "Collection", "DataObject", "Replica", "ReplicaState",
+    "GridCatalog",
     "normalize_path", "parent_path", "basename", "join_path",
     "MetadataSet", "AVU", "MetadataValue",
     "Query", "Condition", "Op", "parse_conditions",

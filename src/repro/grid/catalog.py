@@ -1,0 +1,209 @@
+"""The metadata catalog: MCAT-style indexes over the logical namespace.
+
+SRB keeps every query-relevant fact about the namespace in the MCAT
+metadata catalog so that triggers, ILM policies, and DGL execution logic
+can evaluate datagrid queries without touching the storage systems — and
+without walking the whole namespace. This module is that catalog for the
+reproduction: a set of secondary indexes over :class:`~repro.grid.namespace.
+LogicalNamespace`, maintained *incrementally* by the namespace itself
+(attach/detach hooks) and by each data object's
+:class:`~repro.grid.metadata.MetadataSet` (change hooks).
+
+Indexes maintained:
+
+* ``guid`` → data object (exact lookup);
+* inverted metadata index: attribute → value → objects, in two keyings —
+  by ``str(value)`` for every value and by ``float(value)`` for numeric
+  values — mirroring the query language's mixed string/numeric equality;
+* per-attribute EXISTS sets (attribute → objects carrying it);
+* a sorted size index for range conjuncts (``size > …``, ``size <= …``).
+
+Index lookups return *candidate supersets*: the query planner in
+:mod:`repro.grid.query` always re-verifies every condition against each
+candidate, so the indexes only have to be complete, never exact. All
+containers are insertion-ordered dicts keyed by object identity, which
+keeps iteration deterministic for a deterministic operation sequence.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.grid.metadata import MetadataValue
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard, typing only
+    from repro.grid.namespace import DataObject
+
+__all__ = ["GridCatalog"]
+
+#: Sorts after every real guid in the (size, guid) key space.
+_AFTER_ANY_GUID = "\uffff"
+
+
+def _is_numeric(value: MetadataValue) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class GridCatalog:
+    """Incrementally-maintained secondary indexes for one namespace."""
+
+    def __init__(self) -> None:
+        self._by_guid: Dict[str, "DataObject"] = {}
+        # attribute -> str(value) -> {id(obj): obj}  (every value)
+        self._meta_str: Dict[str, Dict[str, Dict[int, "DataObject"]]] = {}
+        # attribute -> float(value) -> {id(obj): obj}  (numeric values only)
+        self._meta_num: Dict[str, Dict[float, Dict[int, "DataObject"]]] = {}
+        # attribute -> {id(obj): obj}  (EXISTS)
+        self._meta_exists: Dict[str, Dict[int, "DataObject"]] = {}
+        # Sorted (size, guid) keys; guid resolves back through _by_guid.
+        self._size_keys: List[Tuple[float, str]] = []
+        # The size each object is currently indexed under (sizes mutate on
+        # overwrite; the key must be removed under its *old* value).
+        self._indexed_size: Dict[str, float] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of indexed data objects."""
+        return len(self._by_guid)
+
+    def register_object(self, obj: "DataObject") -> None:
+        """Index ``obj`` (called by the namespace when it joins the tree)."""
+        self._by_guid[obj.guid] = obj
+        bisect.insort(self._size_keys, (obj.size, obj.guid))
+        self._indexed_size[obj.guid] = obj.size
+        for attribute, value in obj.metadata.items():
+            self._index_meta(obj, attribute, value)
+        obj.metadata._bind(obj, self._on_metadata_change)
+
+    def deregister_object(self, obj: "DataObject") -> None:
+        """Drop ``obj`` from every index (it left the tree)."""
+        obj.metadata._bind(None, None)
+        for attribute, value in obj.metadata.items():
+            self._unindex_meta(obj, attribute, value)
+        size = self._indexed_size.pop(obj.guid, None)
+        if size is not None:
+            index = bisect.bisect_left(self._size_keys, (size, obj.guid))
+            if (index < len(self._size_keys)
+                    and self._size_keys[index] == (size, obj.guid)):
+                del self._size_keys[index]
+        self._by_guid.pop(obj.guid, None)
+
+    # -- change hooks --------------------------------------------------------
+
+    def _on_metadata_change(self, obj: "DataObject", attribute: str,
+                            old: Optional[MetadataValue],
+                            new: Optional[MetadataValue]) -> None:
+        if old is not None:
+            self._unindex_meta(obj, attribute, old)
+        if new is not None:
+            self._index_meta(obj, attribute, new)
+
+    def object_resized(self, obj: "DataObject") -> None:
+        """Re-key the size index after ``obj.size`` changed (overwrite)."""
+        old = self._indexed_size.get(obj.guid)
+        if old is None:
+            return
+        index = bisect.bisect_left(self._size_keys, (old, obj.guid))
+        if (index < len(self._size_keys)
+                and self._size_keys[index] == (old, obj.guid)):
+            del self._size_keys[index]
+        bisect.insort(self._size_keys, (obj.size, obj.guid))
+        self._indexed_size[obj.guid] = obj.size
+
+    def _index_meta(self, obj: "DataObject", attribute: str,
+                    value: MetadataValue) -> None:
+        self._meta_exists.setdefault(attribute, {})[id(obj)] = obj
+        by_str = self._meta_str.setdefault(attribute, {})
+        by_str.setdefault(str(value), {})[id(obj)] = obj
+        if _is_numeric(value):
+            by_num = self._meta_num.setdefault(attribute, {})
+            by_num.setdefault(float(value), {})[id(obj)] = obj
+
+    def _unindex_meta(self, obj: "DataObject", attribute: str,
+                      value: MetadataValue) -> None:
+        self._discard(self._meta_exists, attribute, obj)
+        by_str = self._meta_str.get(attribute)
+        if by_str is not None:
+            self._discard(by_str, str(value), obj)
+            if not by_str:
+                del self._meta_str[attribute]
+        if _is_numeric(value):
+            by_num = self._meta_num.get(attribute)
+            if by_num is not None:
+                self._discard(by_num, float(value), obj)
+                if not by_num:
+                    del self._meta_num[attribute]
+
+    @staticmethod
+    def _discard(index: Dict, key, obj: "DataObject") -> None:
+        bucket = index.get(key)
+        if bucket is None:
+            return
+        bucket.pop(id(obj), None)
+        if not bucket:
+            del index[key]
+
+    # -- lookups (candidate supersets) ---------------------------------------
+
+    def lookup_guid(self, guid: str) -> Optional["DataObject"]:
+        """The indexed object with ``guid``, if any."""
+        return self._by_guid.get(guid)
+
+    def count_meta_eq(self, attribute: str, value: MetadataValue) -> int:
+        """Upper bound on objects whose ``attribute`` equals ``value``."""
+        count = len(self._meta_str.get(attribute, {}).get(str(value), ()))
+        if _is_numeric(value):
+            count += len(self._meta_num.get(attribute, {}).get(float(value), ()))
+        return count
+
+    def candidates_meta_eq(self, attribute: str,
+                           value: MetadataValue) -> List["DataObject"]:
+        """Candidate objects whose ``attribute`` may equal ``value``.
+
+        A superset under the query language's comparison rules (numeric
+        compare when both sides are numeric, string compare otherwise).
+        """
+        merged: Dict[int, "DataObject"] = {}
+        merged.update(self._meta_str.get(attribute, {}).get(str(value), {}))
+        if _is_numeric(value):
+            merged.update(
+                self._meta_num.get(attribute, {}).get(float(value), {}))
+        return list(merged.values())
+
+    def count_meta_exists(self, attribute: str) -> int:
+        """Number of objects carrying ``attribute``."""
+        return len(self._meta_exists.get(attribute, ()))
+
+    def candidates_meta_exists(self, attribute: str) -> List["DataObject"]:
+        """Objects carrying ``attribute`` (exact, not just a superset)."""
+        return list(self._meta_exists.get(attribute, {}).values())
+
+    def _size_bounds(self, op_value: str,
+                     value: float) -> Tuple[int, int]:
+        """Index range [lo, hi) of size keys possibly satisfying the op."""
+        if op_value in (">", ">="):
+            lo = bisect.bisect_left(self._size_keys, (value, ""))
+            return lo, len(self._size_keys)
+        if op_value in ("<", "<="):
+            # _AFTER_ANY_GUID sorts after every guid, so the bound lands past every
+            # key whose size equals ``value``.
+            hi = bisect.bisect_right(self._size_keys, (value, _AFTER_ANY_GUID))
+            return 0, hi
+        if op_value == "=":
+            lo = bisect.bisect_left(self._size_keys, (value, ""))
+            hi = bisect.bisect_right(self._size_keys, (value, _AFTER_ANY_GUID))
+            return lo, hi
+        return 0, len(self._size_keys)
+
+    def count_size(self, op_value: str, value: float) -> int:
+        """Upper bound on objects whose size satisfies ``size <op> value``."""
+        lo, hi = self._size_bounds(op_value, value)
+        return hi - lo
+
+    def candidates_size(self, op_value: str, value: float) -> List["DataObject"]:
+        """Candidate objects whose size may satisfy ``size <op> value``."""
+        lo, hi = self._size_bounds(op_value, value)
+        by_guid = self._by_guid
+        return [by_guid[guid] for _, guid in self._size_keys[lo:hi]]

@@ -256,7 +256,8 @@ class DataGridManagementSystem:
             yield self.transfers.transfer(source_domain, member.domain, size)
         obj = self.namespace.create_object(path, size, user, self.env.now)
         replica = Replica(obj.guid, logical_resource, member.domain,
-                          member.name, self.env.now)
+                          member.name, self.env.now,
+                          replica_number=self.namespace.next_replica_number())
         try:
             duration = member.physical.write(replica.allocation_id, size)
         except Exception:
@@ -337,7 +338,8 @@ class DataGridManagementSystem:
             source_registered.physical.read(source.allocation_id))
         yield self.transfers.transfer(source.domain, target.domain, obj.size)
         replica = Replica(obj.guid, to_logical_resource, target.domain,
-                          target.name, self.env.now)
+                          target.name, self.env.now,
+                          replica_number=self.namespace.next_replica_number())
         duration = target.physical.write(replica.allocation_id, obj.size)
         yield from self._timed_io(target.physical, duration)
         obj.add_replica(replica)
@@ -370,7 +372,8 @@ class DataGridManagementSystem:
             source_registered.physical.read(source.allocation_id))
         yield self.transfers.transfer(source.domain, target.domain, obj.size)
         replica = Replica(obj.guid, to_logical_resource, target.domain,
-                          target.name, self.env.now)
+                          target.name, self.env.now,
+                          replica_number=self.namespace.next_replica_number())
         yield from self._timed_io(
             target.physical,
             target.physical.write(replica.allocation_id, obj.size))

@@ -9,7 +9,7 @@ policies and triggers key on, and the datagrid query language in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
 from repro.errors import MetadataError
 
@@ -30,10 +30,29 @@ class AVU:
 
 
 class MetadataSet:
-    """The metadata attached to one namespace node (one value per attribute)."""
+    """The metadata attached to one namespace node (one value per attribute).
+
+    While the owning node is part of a namespace tree, the namespace's
+    :class:`~repro.grid.catalog.GridCatalog` binds a change listener here
+    (via :meth:`_bind`) so its inverted index tracks every mutation.
+    """
 
     def __init__(self) -> None:
         self._avus: Dict[str, AVU] = {}
+        self._owner: Any = None
+        self._on_change: Optional[
+            Callable[[Any, str, Optional[MetadataValue],
+                      Optional[MetadataValue]], None]] = None
+
+    def _bind(self, owner: Any, on_change) -> None:
+        """Attach (or, with ``None``, detach) the catalog change listener."""
+        self._owner = owner
+        self._on_change = on_change
+
+    def _notify(self, attribute: str, old: Optional[MetadataValue],
+                new: Optional[MetadataValue]) -> None:
+        if self._on_change is not None:
+            self._on_change(self._owner, attribute, old, new)
 
     def set(self, attribute: str, value: MetadataValue,
             unit: Optional[str] = None) -> None:
@@ -43,7 +62,10 @@ class MetadataSet:
         if not isinstance(value, (str, int, float)) or isinstance(value, bool):
             raise MetadataError(
                 f"metadata value must be str or number, got {type(value).__name__}")
+        previous = self._avus.get(attribute)
         self._avus[attribute] = AVU(attribute, value, unit)
+        self._notify(attribute, None if previous is None else previous.value,
+                     value)
 
     def get(self, attribute: str, default: Optional[MetadataValue] = None
             ) -> Optional[MetadataValue]:
@@ -58,7 +80,9 @@ class MetadataSet:
 
     def remove(self, attribute: str) -> None:
         """Delete an attribute (idempotent)."""
-        self._avus.pop(attribute, None)
+        previous = self._avus.pop(attribute, None)
+        if previous is not None:
+            self._notify(attribute, previous.value, None)
 
     def items(self) -> Iterator[Tuple[str, MetadataValue]]:
         """Iterate (attribute, value) pairs."""
@@ -71,7 +95,11 @@ class MetadataSet:
     def copy_from(self, other: "MetadataSet") -> None:
         """Merge all of ``other``'s AVUs into this set (overwriting)."""
         for avu in other._avus.values():
+            previous = self._avus.get(avu.attribute)
             self._avus[avu.attribute] = avu
+            self._notify(avu.attribute,
+                         None if previous is None else previous.value,
+                         avu.value)
 
     def __contains__(self, attribute: str) -> bool:
         return attribute in self._avus

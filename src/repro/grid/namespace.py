@@ -19,6 +19,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import NamespaceError, ReplicaError
 from repro.grid.acl import AccessControlList, Permission
+from repro.grid.catalog import GridCatalog
 from repro.grid.metadata import MetadataSet
 from repro.grid.users import User
 
@@ -85,13 +86,20 @@ class Replica:
     ``allocation_id`` is the key under which bytes are accounted on the
     physical resource; it embeds the object's immutable GUID so logical
     renames never touch physical state.
+
+    Pass ``replica_number`` (the DGMS uses
+    :meth:`LogicalNamespace.next_replica_number`) so numbering is scoped to
+    one namespace and identical run-to-run; the module-level fallback
+    counter exists only for standalone construction.
     """
 
     _counter = itertools.count(1)
 
     def __init__(self, object_guid: str, logical_resource: str, domain: str,
-                 physical_name: str, created_at: float) -> None:
-        self.replica_number = next(Replica._counter)
+                 physical_name: str, created_at: float,
+                 replica_number: Optional[int] = None) -> None:
+        self.replica_number = (replica_number if replica_number is not None
+                               else next(Replica._counter))
         self.object_guid = object_guid
         self.logical_resource = logical_resource
         self.domain = domain
@@ -119,30 +127,58 @@ class _Node:
         self.acl = AccessControlList(owner)
         self.metadata = MetadataSet()
         self.parent: Optional["Collection"] = None
+        #: The owning namespace's catalog while this node is in its tree.
+        self._catalog: Optional[GridCatalog] = None
+        self._path_cache: Optional[str] = None
 
     @property
     def path(self) -> str:
-        """Full logical path, derived from the parent chain."""
-        if self.parent is None:
-            return "/"
-        return join_path(self.parent.path, self.name)
+        """Full logical path, derived from the parent chain.
+
+        Cached; the cache is invalidated transitively for the whole
+        subtree whenever an ancestor is moved or renamed.
+        """
+        cached = self._path_cache
+        if cached is None:
+            cached = ("/" if self.parent is None
+                      else join_path(self.parent.path, self.name))
+            self._path_cache = cached
+        return cached
 
 
 class DataObject(_Node):
-    """A logical file: a name plus size, checksum, metadata, and replicas."""
+    """A logical file: a name plus size, checksum, metadata, and replicas.
 
-    _guid_counter = itertools.count(1)
+    Pass ``guid`` (:meth:`LogicalNamespace.create_object` mints one from its
+    own counter) so identities are scoped to one namespace and identical
+    run-to-run; standalone construction falls back to a module counter with
+    a distinct ``guid-local-`` prefix so the two spaces cannot collide.
+    """
+
+    _local_guid_counter = itertools.count(1)
 
     def __init__(self, name: str, size: float, owner: Optional[User],
-                 created_at: float) -> None:
+                 created_at: float, guid: Optional[str] = None) -> None:
         super().__init__(name, owner, created_at)
         if size < 0:
             raise NamespaceError(f"object size cannot be negative: {size}")
+        self.guid = (guid if guid is not None
+                     else f"guid-local-{next(DataObject._local_guid_counter):06d}")
         self.size = float(size)
-        self.guid = f"guid-{next(DataObject._guid_counter):08d}"
         self.checksum: Optional[str] = None
         self.replicas: List[Replica] = []
         self.version = 1
+
+    @property
+    def size(self) -> float:
+        """Logical size in bytes."""
+        return self._size
+
+    @size.setter
+    def size(self, value: float) -> None:
+        self._size = float(value)
+        if self._catalog is not None:
+            self._catalog.object_resized(self)
 
     def good_replicas(self) -> List[Replica]:
         """Replicas in GOOD state."""
@@ -179,6 +215,9 @@ class Collection(_Node):
     def __init__(self, name: str, owner: Optional[User], created_at: float) -> None:
         super().__init__(name, owner, created_at)
         self._children: Dict[str, _Node] = {}
+        # Materialized sorted views, rebuilt lazily after attach/detach.
+        self._listing_cache: Optional[List[_Node]] = None
+        self._path_order_cache: Optional[List[_Node]] = None
 
     def child(self, name: str) -> Optional[_Node]:
         """The direct child named ``name``, or None."""
@@ -186,9 +225,32 @@ class Collection(_Node):
 
     def children(self) -> List[_Node]:
         """Direct children, collections first, each group name-sorted."""
-        nodes = list(self._children.values())
-        nodes.sort(key=lambda n: (not isinstance(n, Collection), n.name))
-        return nodes
+        cache = self._listing_cache
+        if cache is None:
+            cache = sorted(self._children.values(),
+                           key=lambda n: (not isinstance(n, Collection), n.name))
+            self._listing_cache = cache
+        return list(cache)
+
+    def _children_in_path_order(self) -> List[_Node]:
+        """Direct children ordered so a DFS yields global path order.
+
+        Suffixing collection names with ``/`` makes the sort key equal the
+        child's path continuation, so ``b.dat`` sorts before collection
+        ``b``'s descendants exactly as the full path strings would.
+        """
+        cache = self._path_order_cache
+        if cache is None:
+            cache = sorted(self._children.values(),
+                           key=lambda n: (n.name + "/"
+                                          if isinstance(n, Collection)
+                                          else n.name))
+            self._path_order_cache = cache
+        return cache
+
+    def _invalidate_listings(self) -> None:
+        self._listing_cache = None
+        self._path_order_cache = None
 
     def attach(self, node: _Node) -> None:
         """Add ``node`` as a child (rejects name collisions)."""
@@ -197,6 +259,8 @@ class Collection(_Node):
                 f"{join_path(self.path, node.name)} already exists")
         self._children[node.name] = node
         node.parent = self
+        self._invalidate_listings()
+        _adopt_subtree(node, self._catalog)
 
     def detach(self, node: _Node) -> None:
         """Remove a direct child, clearing its parent link."""
@@ -204,6 +268,8 @@ class Collection(_Node):
             raise NamespaceError(f"{node.name!r} is not a child of {self.path}")
         del self._children[node.name]
         node.parent = None
+        self._invalidate_listings()
+        _release_subtree(node)
 
     def __len__(self) -> int:
         return len(self._children)
@@ -212,19 +278,79 @@ class Collection(_Node):
         return f"<Collection {self.path} ({len(self)} children)>"
 
 
+def _adopt_subtree(node: _Node, catalog: Optional[GridCatalog]) -> None:
+    """Point ``node``'s subtree at ``catalog``, (re)indexing every object.
+
+    Also drops every cached path in the subtree: attach is the only way a
+    node's absolute path can change (create, move, federated import), so
+    invalidation here is transitively complete.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        current._path_cache = None
+        if isinstance(current, Collection):
+            current._catalog = catalog
+            stack.extend(current._children.values())
+            continue
+        previous = current._catalog
+        current._catalog = catalog
+        if previous is not catalog:
+            if previous is not None:
+                previous.deregister_object(current)
+            if catalog is not None:
+                catalog.register_object(current)
+
+
+def _release_subtree(node: _Node) -> None:
+    """Detach ``node``'s subtree from its catalog and drop cached paths."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        current._path_cache = None
+        catalog = current._catalog
+        current._catalog = None
+        if isinstance(current, Collection):
+            stack.extend(current._children.values())
+        elif catalog is not None:
+            catalog.deregister_object(current)
+
+
 # --------------------------------------------------------------------------
 # The namespace
 # --------------------------------------------------------------------------
 
 
 class LogicalNamespace:
-    """The datagrid's single logical tree of collections and data objects."""
+    """The datagrid's single logical tree of collections and data objects.
+
+    Owns the :class:`~repro.grid.catalog.GridCatalog` (:attr:`catalog`)
+    that mirrors the tree with secondary indexes; every attach/detach and
+    metadata change keeps it current, and the query planner in
+    :mod:`repro.grid.query` consults it for sublinear lookups. GUIDs and
+    replica numbers are minted from namespace-scoped counters so repeated
+    runs and reordered tests produce identical identifiers.
+    """
 
     def __init__(self) -> None:
+        self.catalog = GridCatalog()
+        self._guid_counter = itertools.count(1)
+        self._replica_counter = itertools.count(1)
         self.root = Collection(name="", owner=None, created_at=0.0)
+        self.root._catalog = self.catalog
         # Bootstrap convention: the root is world-writable so domains can
         # create their top-level collections; they then lock down their own.
         self.root.acl.grant("*", Permission.WRITE)
+
+    # -- identities ---------------------------------------------------------
+
+    def next_guid(self) -> str:
+        """Mint the next data-object GUID (namespace-scoped, deterministic)."""
+        return f"guid-{next(self._guid_counter):08d}"
+
+    def next_replica_number(self) -> int:
+        """Mint the next replica number (namespace-scoped, deterministic)."""
+        return next(self._replica_counter)
 
     # -- resolution ---------------------------------------------------------
 
@@ -243,13 +369,20 @@ class LogicalNamespace:
             node = child
         return node
 
+    def try_resolve(self, path: str) -> Optional[_Node]:
+        """The node at ``path``, or None — one walk for exists+resolve."""
+        try:
+            return self.resolve(path)
+        except NamespaceError:
+            return None
+
+    def lookup_guid(self, guid: str) -> Optional["DataObject"]:
+        """The data object with ``guid``, via the catalog (O(1))."""
+        return self.catalog.lookup_guid(guid)
+
     def exists(self, path: str) -> bool:
         """True if ``path`` resolves."""
-        try:
-            self.resolve(path)
-            return True
-        except NamespaceError:
-            return False
+        return self.try_resolve(path) is not None
 
     def resolve_collection(self, path: str) -> Collection:
         """Resolve, insisting on a collection."""
@@ -290,7 +423,8 @@ class LogicalNamespace:
         """Register a new data object at ``path`` (no replicas yet)."""
         path = normalize_path(path)
         parent = self.resolve_collection(parent_path(path))
-        obj = DataObject(basename(path), size, owner, created_at)
+        obj = DataObject(basename(path), size, owner, created_at,
+                         guid=self.next_guid())
         parent.attach(obj)
         return obj
 
@@ -343,3 +477,22 @@ class LogicalNamespace:
         """All data objects under ``path`` (recursive)."""
         for _, _, objects in self.walk(path):
             yield from objects
+
+    def iter_objects_in_path_order(self, path: str = "/") -> Iterator[DataObject]:
+        """All data objects under ``path``, in ascending path order.
+
+        Unlike :meth:`iter_objects` (which yields a collection's direct
+        objects before descending), this interleaves objects and
+        subcollections so the yield order equals sorting by full path —
+        which lets a limited query stop as soon as it has enough matches.
+        """
+        start = self.resolve_collection(path)
+
+        def visit(collection: Collection) -> Iterator[DataObject]:
+            for child in collection._children_in_path_order():
+                if isinstance(child, Collection):
+                    yield from visit(child)
+                else:
+                    yield child
+
+        return visit(start)

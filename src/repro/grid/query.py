@@ -111,9 +111,22 @@ class Condition:
         raise MetadataError(f"unhandled operator {self.op!r}")
 
 
+#: Operators the size index can bound a candidate range for.
+_SIZE_RANGE_OPS = {Op.EQ, Op.GT, Op.GE, Op.LT, Op.LE}
+
+
 @dataclass
 class Query:
-    """A conjunctive query over a collection subtree."""
+    """A conjunctive query over a collection subtree.
+
+    :meth:`run` plans the evaluation against the namespace's
+    :class:`~repro.grid.catalog.GridCatalog`: each conjunct that an index
+    can answer (metadata EQ/EXISTS, guid EQ, size ranges) is scored by its
+    candidate count, evaluation starts from the most selective access
+    path, and every candidate is re-verified against the full conjunction
+    — so results are always identical to a brute-force scan
+    (:meth:`run_scan`), just sublinear for selective queries.
+    """
 
     collection: str = "/"
     conditions: List[Condition] = field(default_factory=list)
@@ -126,6 +139,39 @@ class Query:
 
     def run(self, namespace: LogicalNamespace) -> List[DataObject]:
         """Evaluate against ``namespace``, in deterministic path order."""
+        scope = namespace.resolve_collection(self.collection)
+        if not self.recursive:
+            results = [c for c in scope.children()
+                       if isinstance(c, DataObject) and self.matches(c)]
+            results.sort(key=lambda o: o.path)
+            return results[: self.limit] if self.limit is not None else results
+
+        candidates = self._best_index_candidates(namespace)
+        if candidates is not None:
+            scope_path = scope.path
+            in_scope = (candidates if scope_path == "/" else
+                        [o for o in candidates
+                         if o.path.startswith(scope_path + "/")])
+            results = [obj for obj in in_scope if self.matches(obj)]
+            results.sort(key=lambda o: o.path)
+            return results[: self.limit] if self.limit is not None else results
+
+        # Scan path: path-ordered traversal allows a true early exit once
+        # ``limit`` matches are in hand.
+        results = []
+        for obj in namespace.iter_objects_in_path_order(self.collection):
+            if self.matches(obj):
+                results.append(obj)
+                if self.limit is not None and len(results) >= self.limit:
+                    break
+        return results
+
+    def run_scan(self, namespace: LogicalNamespace) -> List[DataObject]:
+        """Brute-force evaluation (the pre-catalog semantics).
+
+        Kept as the reference implementation: equivalence tests and the
+        catalog benchmark compare :meth:`run` against this.
+        """
         if self.recursive:
             candidates = namespace.iter_objects(self.collection)
         else:
@@ -137,6 +183,62 @@ class Query:
         if self.limit is not None:
             results = results[: self.limit]
         return results
+
+    # -- planning -----------------------------------------------------------
+
+    def _best_index_candidates(
+            self, namespace: LogicalNamespace) -> Optional[List[DataObject]]:
+        """Candidates from the most selective indexed conjunct, or None.
+
+        Scores every index-eligible conjunct by its (cheaply counted)
+        candidate population and fetches only the winner; returns None when
+        no conjunct is indexable, sending :meth:`run` down the scan path.
+        """
+        catalog = getattr(namespace, "catalog", None)
+        if catalog is None:
+            return None
+        best_count: Optional[int] = None
+        best_fetch = None
+        for condition in self.conditions:
+            count, fetch = self._access_path(namespace, catalog, condition)
+            if fetch is None:
+                continue
+            if best_count is None or count < best_count:
+                best_count, best_fetch = count, fetch
+        return None if best_fetch is None else best_fetch()
+
+    @staticmethod
+    def _access_path(namespace: LogicalNamespace, catalog, condition):
+        """(estimated candidate count, fetch thunk) for one conjunct."""
+        field_name, op, value = condition.field, condition.op, condition.value
+        if field_name.startswith("meta:"):
+            attribute = field_name[len("meta:"):]
+            if op is Op.EQ:
+                return (catalog.count_meta_eq(attribute, value),
+                        lambda: catalog.candidates_meta_eq(attribute, value))
+            if op is Op.EXISTS or op in (Op.NE, Op.GT, Op.GE, Op.LT, Op.LE,
+                                         Op.LIKE, Op.CONTAINS):
+                # Every non-EQ operator still requires the attribute to be
+                # present, so the EXISTS set bounds its candidates.
+                return (catalog.count_meta_exists(attribute),
+                        lambda: catalog.candidates_meta_exists(attribute))
+        if field_name == "guid" and op is Op.EQ:
+            def fetch_guid():
+                obj = catalog.lookup_guid(str(value))
+                return [obj] if obj is not None else []
+            found = catalog.lookup_guid(str(value))
+            return (1 if found is not None else 0, fetch_guid)
+        if field_name == "path" and op is Op.EQ and isinstance(value, str):
+            def fetch_path():
+                node = namespace.try_resolve(str(value))
+                return [node] if isinstance(node, DataObject) else []
+            return (1, fetch_path)
+        if (field_name == "size" and op in _SIZE_RANGE_OPS
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)):
+            return (catalog.count_size(op.value, float(value)),
+                    lambda: catalog.candidates_size(op.value, float(value)))
+        return (None, None)
 
 
 # --------------------------------------------------------------------------
@@ -166,6 +268,39 @@ def _parse_value(text: str) -> Union[str, int, float]:
     return text
 
 
+def _split_conjuncts(text: str) -> List[str]:
+    """Split on ``AND`` keywords, ignoring any inside quoted values.
+
+    A bare ``re.split(r"\\bAND\\b")`` would shear a clause like
+    ``meta:note = 'R AND D'`` in half; this scanner tracks single- and
+    double-quote state so only top-level connectives split.
+    """
+    clauses: List[str] = []
+    quote: Optional[str] = None
+    start = index = 0
+    upper = text.upper()
+    while index < len(text):
+        char = text[index]
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif (upper.startswith("AND", index)
+              and (index == 0 or not (text[index - 1].isalnum()
+                                      or text[index - 1] == "_"))
+              and (index + 3 >= len(text)
+                   or not (text[index + 3].isalnum()
+                           or text[index + 3] == "_"))):
+            clauses.append(text[start:index])
+            index += 3
+            start = index
+            continue
+        index += 1
+    clauses.append(text[start:])
+    return clauses
+
+
 def parse_conditions(text: str) -> List[Condition]:
     """Parse the compact text form: clauses joined with ``AND``.
 
@@ -176,7 +311,7 @@ def parse_conditions(text: str) -> List[Condition]:
     conditions: List[Condition] = []
     if not text or not text.strip():
         return conditions
-    for clause in re.split(r"\bAND\b", text, flags=re.IGNORECASE):
+    for clause in _split_conjuncts(text):
         clause = clause.strip()
         if not clause:
             raise MetadataError(f"empty clause in query {text!r}")

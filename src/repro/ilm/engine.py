@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import ExpressionError, PolicyError
+from repro.errors import ExpressionError, NamespaceError, PolicyError
 from repro.dfms.context import ExecutionContext
 from repro.dfms.server import DfMSServer
 from repro.dgl.expressions import evaluate_condition
 from repro.dgl.model import DataGridRequest
+from repro.grid.namespace import DataObject
 from repro.grid.users import User
 from repro.ilm.policy import ILMPolicy, PlacementRule
 from repro.ilm.value import DomainValueModel
@@ -131,9 +132,12 @@ class ILMManager:
         """Evaluate the policy's rules for one object and act."""
         policy = self.policy(params["policy"])
         path = params["path"]
-        if not self.dgms.namespace.exists(path):
+        # One namespace walk instead of a separate exists + resolve.
+        obj = self.dgms.namespace.try_resolve(path)
+        if obj is None:
             return "vanished"
-        obj = self.dgms.namespace.resolve_object(path)
+        if not isinstance(obj, DataObject):
+            raise NamespaceError(f"{path!r} is a collection, not a data object")
         scope = {
             "value": self.value_model.domain_value(obj, policy.domain,
                                                    ctx.env.now),

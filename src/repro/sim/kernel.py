@@ -39,7 +39,13 @@ class Event:
     An event starts *pending*, is *triggered* exactly once with either a value
     (:meth:`succeed`) or an exception (:meth:`fail`), and then invokes its
     callbacks in registration order when the environment processes it.
+
+    Events (and their kernel subclasses) are allocated millions of times in
+    the scale benchmarks, so they declare ``__slots__``; ``defused`` is a
+    slot too, assigned lazily on failure paths and read with ``getattr``.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -109,6 +115,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` units of virtual time in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimError(f"negative timeout delay: {delay!r}")
@@ -121,6 +129,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -137,6 +147,8 @@ class Process(Event):
     itself an event: it triggers with the generator's return value, or fails
     with the exception that escaped the generator.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
@@ -234,6 +246,8 @@ class Condition(Event):
     constructing directly. The value is a dict mapping each *triggered* child
     event to its value, in trigger order.
     """
+
+    __slots__ = ("_events", "_evaluate", "_done", "_results")
 
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[int, int], bool]) -> None:

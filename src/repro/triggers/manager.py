@@ -108,10 +108,9 @@ class TriggerManager:
             "time": event.time,
         }
         scope.update(event.detail)
-        meta: dict = {}
-        if self.dgms.namespace.exists(event.path):
-            meta = self.dgms.namespace.resolve(event.path).metadata.as_dict()
-        scope["meta"] = meta
+        # One catalog-backed walk instead of a separate exists + resolve.
+        node = self.dgms.namespace.try_resolve(event.path)
+        scope["meta"] = {} if node is None else node.metadata.as_dict()
         return scope
 
     def _on_event(self, event: NamespaceEvent) -> None:

@@ -281,3 +281,22 @@ def test_peek_reports_next_event_time():
     assert env.peek() == float("inf")
     env.timeout(7.0)
     assert env.peek() == 7.0
+
+
+def test_kernel_events_have_no_instance_dict():
+    # The kernel classes declare __slots__ (events are allocated millions of
+    # times in the scale benchmarks); a __dict__ creeping back in would undo
+    # the memory savings silently.
+    from repro.sim.kernel import Condition, Event, Process, Timeout
+
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    instances = [Event(env), env.timeout(1.0), env.process(proc()),
+                 env.all_of([env.timeout(2.0)])]
+    assert [type(i) for i in instances] == [Event, Timeout, Process, Condition]
+    for instance in instances:
+        assert not hasattr(instance, "__dict__")
+    env.run()
