@@ -8,7 +8,10 @@ Operator-facing utilities over DGL documents and the simulated grid:
   Figs. 1–4, regenerated on demand);
 * ``moml2dgl`` / ``dgl2moml`` — convert between the IDE's MoML models and
   DGL requests;
-* ``demo``      — run a named scenario end to end and print its summary.
+* ``demo``      — run a named scenario end to end and print its summary;
+* ``telemetry`` — same scenarios, with the telemetry layer attached:
+  prints a run summary and exports metrics/spans/events (Prometheus text
+  and/or JSONL).
 
 Exposed as the ``datagridflow`` console script (see ``pyproject.toml``)
 and runnable as ``python -m repro.cli``.
@@ -128,7 +131,12 @@ def _cmd_dgl2moml(args) -> int:
     return 0
 
 
-def _cmd_demo(args) -> int:
+def _demo_deployment(scenario_name: str, files: int):
+    """Build a named demo: returns ``(scenario, user, flow)``.
+
+    Shared between ``demo`` and ``telemetry`` so both commands run the
+    exact same workloads.
+    """
     from repro.baselines import dgl_integrity_flow
     from repro.workloads import (
         bbsrc_scenario,
@@ -136,14 +144,14 @@ def _cmd_demo(args) -> int:
         ucsd_library_scenario,
     )
 
-    if args.scenario == "library":
-        scenario = ucsd_library_scenario(n_files=args.files)
+    if scenario_name == "library":
+        scenario = ucsd_library_scenario(n_files=files)
         user = scenario.users["librarian"]
         flow = dgl_integrity_flow("/library/ingest", "library-tape")
-    elif args.scenario == "bbsrc":
+    elif scenario_name == "bbsrc":
         from repro.ilm import ILMManager, imploding_star_policy
         scenario = bbsrc_scenario(n_hospitals=3,
-                                  files_per_hospital=args.files)
+                                  files_per_hospital=files)
         manager = ILMManager(scenario.server)
         manager.add_policy(imploding_star_policy(
             name="pull", collection="/bbsrc", archiver_domain="ral",
@@ -152,12 +160,17 @@ def _cmd_demo(args) -> int:
         flow = manager.policy("pull").compile_to_flow()
     else:
         from repro.ilm import exploding_star_flow
-        scenario = cms_scenario(n_events=args.files)
+        scenario = cms_scenario(n_events=files)
         user = scenario.users["physicist"]
         flow = exploding_star_flow(
             "stage-out", "/cms/run1",
             tier_resources=[scenario.extras["tier1_resources"],
                             scenario.extras["tier2_resources"]])
+    return scenario, user, flow
+
+
+def _cmd_demo(args) -> int:
+    scenario, user, flow = _demo_deployment(args.scenario, args.files)
 
     def go():
         response = yield scenario.env.process(scenario.server.submit_sync(
@@ -172,6 +185,58 @@ def _cmd_demo(args) -> int:
     print(f"  provenance records: {len(scenario.provenance)}")
     print(f"  WAN bytes moved:    "
           f"{scenario.dgms.transfers.total_bytes_moved / 1e6:.1f} MB")
+    return 0 if state == "completed" else 1
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.grid.events import EventKind
+    from repro.dgl.model import Operation
+    from repro.telemetry import (
+        instrument_scenario,
+        prometheus_text,
+        write_jsonl,
+        write_prometheus,
+    )
+    from repro.triggers import DatagridTrigger, TriggerManager
+
+    scenario, user, flow = _demo_deployment(args.scenario, args.files)
+    telemetry = instrument_scenario(scenario)
+    # An audit trigger so the run exercises the trigger manager too: note
+    # every replica change (the action is a no-op log flow).
+    manager = TriggerManager(scenario.dgms, server=scenario.server)
+    manager.register(DatagridTrigger(
+        name="audit-replicas", owner=user,
+        kinds=frozenset({EventKind.REPLICATE, EventKind.MIGRATE}),
+        action=Operation(name="dgl.log",
+                         parameters={"message":
+                                     "replica change at ${event_path}"})))
+
+    def go():
+        response = yield scenario.env.process(scenario.server.submit_sync(
+            DataGridRequest(user=user.qualified_name,
+                            virtual_organization="demo", body=flow)))
+        return response
+
+    response = scenario.run(go())
+    state = response.body.state.value
+    telemetry.collect()
+
+    print(f"scenario {args.scenario!r}: {state} at virtual "
+          f"t={scenario.env.now:.1f} s")
+    series = sum(len(list(m.series()))
+                 for m in telemetry.metrics.metrics())
+    print(f"  metric series:  {series}")
+    print(f"  spans recorded: {len(telemetry.tracer.finished)}")
+    print(f"  event records:  {len(telemetry.log)}")
+    print(f"  trigger firings: {len(manager.firing_log)}")
+    if args.prom is not None:
+        write_prometheus(telemetry, args.prom)
+        print(f"  wrote Prometheus text to {args.prom}")
+    if args.jsonl is not None:
+        write_jsonl(telemetry, args.jsonl)
+        print(f"  wrote JSONL export to {args.jsonl}")
+    if args.prom is None and args.jsonl is None:
+        print(prometheus_text(telemetry))
     return 0 if state == "completed" else 1
 
 
@@ -222,6 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("scenario", choices=("library", "bbsrc", "cms"))
     demo.add_argument("--files", type=int, default=6)
     demo.set_defaults(handler=_cmd_demo)
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="run a scenario with telemetry attached and export a report")
+    telemetry.add_argument("scenario", choices=("library", "bbsrc", "cms"))
+    telemetry.add_argument("--files", type=int, default=6)
+    telemetry.add_argument("--prom", default=None,
+                           help="write Prometheus text exposition here")
+    telemetry.add_argument("--jsonl", default=None,
+                           help="write the JSONL event/span/sample "
+                                "export here")
+    telemetry.set_defaults(handler=_cmd_telemetry)
 
     return parser
 

@@ -16,6 +16,14 @@ Executes a :class:`~repro.dgl.model.Flow` over the simulation kernel:
   journals completed step instances so a checkpointed execution can be
   restarted without redoing work (§2.1: ILM processes "could be started,
   stopped and restarted at any time").
+
+Observability: every progress notification goes through the
+``listeners`` event bus (one emission path shared by
+:class:`~repro.dfms.monitoring.ExecutionMonitor` push-watchers and the
+telemetry layer), and when a telemetry session is attached to the
+environment the engine additionally opens execution → flow → step tracing
+spans, propagating span context into the separate simulation processes it
+spawns for parallel branches and timed operation handlers.
 """
 
 from __future__ import annotations
@@ -96,8 +104,11 @@ class FlowEngine:
 
     def _notify(self, kind: str, execution: FlowExecution, key: str,
                 **detail) -> None:
-        for listener in self.listeners:
-            listener(kind, execution, key, self.env.now, detail)
+        listeners = self.listeners
+        if listeners:
+            now = self.env._now
+            for listener in listeners:
+                listener(kind, execution, key, now, detail)
 
     # -- control gate --------------------------------------------------------
 
@@ -121,9 +132,17 @@ class FlowEngine:
     def _run_root(self, execution: FlowExecution, ctx: ExecutionContext):
         execution.state = ExecutionState.RUNNING
         self._notify("execution_started", execution, "")
+        t = self.env.telemetry
+        # Spans are parented explicitly: each _run_* level holds its own
+        # span in a local and passes it down as the children's parent
+        # (Tracer.begin/finish — no context-stack bookkeeping).
+        span = None if t is None else t.tracer.begin(
+            "execution", None,
+            {"request_id": execution.request_id,
+             "flow": execution.flow.name})
         try:
             yield from self._run_flow(execution.flow, execution.status,
-                                      ctx.scope, ctx, execution, prefix="")
+                                      ctx.scope, ctx, execution, "", span)
         except FlowCancelled:
             execution.finish(ExecutionState.CANCELLED)
             self._notify("execution_cancelled", execution, "")
@@ -133,18 +152,27 @@ class FlowEngine:
         else:
             execution.finish(ExecutionState.COMPLETED)
             self._notify("execution_completed", execution, "")
+        if span is not None:
+            t.tracer.finish(
+                span, status="ok" if execution.state is
+                ExecutionState.COMPLETED else execution.state.value)
         return execution
 
     # -- flows ------------------------------------------------------------------
 
     def _run_flow(self, flow: Flow, status: FlowStatus, parent_scope: Scope,
                   ctx: ExecutionContext, execution: FlowExecution,
-                  prefix: str):
+                  prefix: str, parent_span=None):
         yield from self._gate(execution)
         if status.started_at is None:
             status.started_at = self.env.now
         status.state = ExecutionState.RUNNING
         self._notify("flow_started", execution, prefix or flow.name)
+        t = self.env.telemetry
+        span = None if t is None else t.tracer.begin(
+            "flow", parent_span,
+            {"key": prefix or flow.name,
+             "request_id": execution.request_id})
         scope = Scope(parent=parent_scope)
         for variable in flow.variables:
             scope.declare(variable.name,
@@ -153,12 +181,14 @@ class FlowEngine:
             yield from self._run_rule_if_defined(
                 flow.logic.rule(BEFORE_ENTRY), scope, ctx, execution)
             yield from self._dispatch_pattern(flow, status, scope, ctx,
-                                              execution, prefix)
+                                              execution, prefix, span)
             yield from self._run_rule_if_defined(
                 flow.logic.rule(AFTER_EXIT), scope, ctx, execution)
         except FlowCancelled:
             status.state = ExecutionState.CANCELLED
             status.finished_at = self.env.now
+            if span is not None:
+                t.tracer.finish(span, status="cancelled")
             raise
         except Exception as exc:
             status.state = ExecutionState.FAILED
@@ -166,22 +196,27 @@ class FlowEngine:
             status.finished_at = self.env.now
             self._notify("flow_failed", execution, prefix or flow.name,
                          error=str(exc))
+            if span is not None:
+                t.tracer.finish(span, status="error")
             raise
         status.state = ExecutionState.COMPLETED
         status.finished_at = self.env.now
+        if span is not None:
+            t.tracer.finish(span)
         self._notify("flow_completed", execution, prefix or flow.name)
 
-    def _dispatch_pattern(self, flow, status, scope, ctx, execution, prefix):
+    def _dispatch_pattern(self, flow, status, scope, ctx, execution, prefix,
+                          span=None):
         pattern = flow.logic.pattern
         if isinstance(pattern, Sequential):
             yield from self._run_children_once(flow, status, scope, ctx,
-                                               execution, prefix)
+                                               execution, prefix, span)
         elif isinstance(pattern, Parallel):
             yield from self._run_parallel(flow, status, scope, ctx,
-                                          execution, prefix, pattern)
+                                          execution, prefix, pattern, span)
         elif isinstance(pattern, WhileLoop):
             yield from self._run_loop(
-                flow, status, scope, ctx, execution, prefix,
+                flow, status, scope, ctx, execution, prefix, span,
                 should_continue=lambda i: bool(
                     evaluate_condition(pattern.condition, scope)))
         elif isinstance(pattern, Repeat):
@@ -192,34 +227,36 @@ class FlowEngine:
             if count < 0:
                 raise ExecutionError(f"repeat count is negative: {count}")
             yield from self._run_loop(
-                flow, status, scope, ctx, execution, prefix,
+                flow, status, scope, ctx, execution, prefix, span,
                 should_continue=lambda i: i < count)
         elif isinstance(pattern, ForEach):
             yield from self._run_foreach(flow, status, scope, ctx,
-                                         execution, prefix, pattern)
+                                         execution, prefix, pattern, span)
         elif isinstance(pattern, SwitchCase):
             yield from self._run_switch(flow, status, scope, ctx,
-                                        execution, prefix, pattern)
+                                        execution, prefix, pattern, span)
         else:  # pragma: no cover - FlowLogic already validates
             raise DGLValidationError(
                 f"unknown control pattern {type(pattern).__name__}")
 
-    def _run_children_once(self, flow, status, scope, ctx, execution, prefix):
+    def _run_children_once(self, flow, status, scope, ctx, execution, prefix,
+                           span=None):
         for child, child_status in zip(flow.children, status.children):
             yield from self._run_child(child, child_status, scope, ctx,
-                                       execution, prefix)
+                                       execution, prefix, span)
 
-    def _run_child(self, child, child_status, scope, ctx, execution, prefix):
+    def _run_child(self, child, child_status, scope, ctx, execution, prefix,
+                   span=None):
         key = f"{prefix}/{child.name}" if prefix else child.name
         if isinstance(child, Flow):
             yield from self._run_flow(child, child_status, scope, ctx,
-                                      execution, key)
+                                      execution, key, span)
         else:
             yield from self._run_step(child, child_status, scope, ctx,
-                                      execution, key)
+                                      execution, key, span)
 
     def _run_parallel(self, flow, status, scope, ctx, execution, prefix,
-                      pattern: Parallel):
+                      pattern: Parallel, span=None):
         limiter: Optional[Resource] = None
         if pattern.max_concurrent:
             limiter = Resource(self.env, capacity=pattern.max_concurrent)
@@ -227,17 +264,26 @@ class FlowEngine:
         def _bounded(child, child_status):
             if limiter is None:
                 yield from self._run_child(child, child_status, scope, ctx,
-                                           execution, prefix)
+                                           execution, prefix, span)
                 return
             request = limiter.request()
             yield request
             try:
                 yield from self._run_child(child, child_status, scope, ctx,
-                                           execution, prefix)
+                                           execution, prefix, span)
             finally:
                 limiter.release(request)
 
-        processes = [self.env.process(_bounded(child, child_status))
+        # Branches run as separate kernel processes. The flow span
+        # reaches their steps as the closed-over `span` argument; pin it
+        # on the process too so any work that reads the active process's
+        # span context (rules spawning, transfers) parents correctly.
+        def _branch(child, child_status):
+            process = self.env.process(_bounded(child, child_status))
+            process._tspan = span
+            return process
+
+        processes = [_branch(child, child_status)
                      for child, child_status in
                      zip(flow.children, status.children)]
         # Wait for every branch to settle, then surface the first error —
@@ -252,8 +298,8 @@ class FlowEngine:
         if first_error is not None:
             raise first_error
 
-    def _run_loop(self, flow, status, scope, ctx, execution, prefix,
-                  should_continue):
+    def _run_loop(self, flow, status, scope, ctx, execution, prefix, span=None,
+                  should_continue=None):
         iteration = 0
         while should_continue(iteration):
             if iteration >= MAX_LOOP_ITERATIONS:
@@ -265,12 +311,12 @@ class FlowEngine:
                            else f"{flow.name}[{iteration}]")
             for child, child_status in zip(flow.children, status.children):
                 yield from self._run_child(child, child_status, scope, ctx,
-                                           execution, iter_prefix)
+                                           execution, iter_prefix, span)
             iteration += 1
             status.iterations = iteration
 
     def _run_foreach(self, flow, status, scope, ctx, execution, prefix,
-                     pattern: ForEach):
+                     pattern: ForEach, span=None):
         if pattern.items is not None:
             items = evaluate(pattern.items, scope)
             if not isinstance(items, list):
@@ -291,11 +337,11 @@ class FlowEngine:
                            else f"{flow.name}[{index}]")
             for child, child_status in zip(flow.children, status.children):
                 yield from self._run_child(child, child_status, scope, ctx,
-                                           execution, iter_prefix)
+                                           execution, iter_prefix, span)
             status.iterations = index + 1
 
     def _run_switch(self, flow, status, scope, ctx, execution, prefix,
-                    pattern: SwitchCase):
+                    pattern: SwitchCase, span=None):
         value = evaluate_condition(pattern.expression, scope)
         child = flow.child(value) if isinstance(value, str) else None
         if child is None and pattern.default is not None:
@@ -304,12 +350,13 @@ class FlowEngine:
             return   # no matching case and no default: a no-op (documented)
         index = flow.children.index(child)
         yield from self._run_child(child, status.children[index], scope, ctx,
-                                   execution, prefix)
+                                   execution, prefix, span)
 
     # -- steps ------------------------------------------------------------------
 
     def _run_step(self, step: Step, status: FlowStatus, parent_scope: Scope,
-                  ctx: ExecutionContext, execution: FlowExecution, key: str):
+                  ctx: ExecutionContext, execution: FlowExecution, key: str,
+                  parent_span=None):
         yield from self._gate(execution)
         entry = execution.journalled(key)
         if entry is not None:
@@ -327,6 +374,20 @@ class FlowEngine:
         status.state = ExecutionState.RUNNING
         self._notify("step_started", execution, key,
                      operation=step.operation.name)
+        t = self.env.telemetry
+        if t is None:
+            span = None
+        else:
+            span = t.tracer.begin(
+                "step", parent_span,
+                {"key": key, "operation": step.operation.name,
+                 "request_id": execution.request_id})
+            # Make the step span this process's span context for the
+            # step's duration, so synchronous transfers and spawned
+            # handler processes (_invoke) parent under it.
+            active = self.env._active_process
+            prev_tspan = active._tspan
+            active._tspan = span
         scope = Scope(parent=parent_scope)
         for variable in step.variables:
             scope.declare(variable.name,
@@ -345,15 +406,28 @@ class FlowEngine:
         except FlowCancelled:
             status.state = ExecutionState.CANCELLED
             status.finished_at = self.env.now
+            if span is not None:
+                active._tspan = prev_tspan
+                t.tracer.finish(span, status="cancelled")
             raise
         except Exception as exc:
             status.state = ExecutionState.FAILED
             status.error = str(exc)
             status.finished_at = self.env.now
             self._notify("step_failed", execution, key, error=str(exc))
+            if span is not None:
+                active._tspan = prev_tspan
+                t.tracer.finish(span, status="error")
             raise
         status.state = ExecutionState.COMPLETED
         status.finished_at = self.env.now
+        if span is not None:
+            active._tspan = prev_tspan
+            t.tracer.finish(span)
+            # Raw sample append; buckets fold at export (see Histogram).
+            t.dfms_step_duration.samples.append(
+                (status.finished_at,
+                 status.finished_at - status.started_at))
         execution.record_step(key, step_ctx.effects)
         self._notify("step_completed", execution, key,
                      operation=step.operation.name)
@@ -375,6 +449,9 @@ class FlowEngine:
                 action, params = decision
                 if action == "retry":
                     attempts += 1
+                    t = self.env.telemetry
+                    if t is not None:
+                        t.dfms_step_retries.inc()
                     max_attempts = int(params.get("max", 3))
                     if attempts > max_attempts:
                         raise ExecutionError(
@@ -451,5 +528,12 @@ class FlowEngine:
                   for name, value in operation.parameters.items()}
         result = handler(ctx, params)
         if OperationRegistry.is_timed(result):
-            result = yield self.env.process(result)
+            process = self.env.process(result)
+            t = self.env.telemetry
+            if t is not None:
+                # Timed handlers run as separate kernel processes; hand
+                # them the invoking process's span context (the step's
+                # span) so transfers they start parent under it.
+                process._tspan = self.env._active_process._tspan
+            result = yield process
         return result

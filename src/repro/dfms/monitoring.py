@@ -7,6 +7,11 @@ subscribes to the engine's event stream and fans events out to filtered
 watchers — by request, by step path, by event kind — plus simulation
 events that trigger when a given task reaches a given state (so flows can
 be coordinated from other processes).
+
+The monitor is a subscriber on ``FlowEngine.listeners`` — the same event
+bus the telemetry layer (:mod:`repro.telemetry`) attaches to — so
+push-watchers, metrics, spans, and the structured event log all observe
+one emission path.
 """
 
 from __future__ import annotations
@@ -67,14 +72,31 @@ class ExecutionMonitor:
 
         return _unsubscribe
 
+    #: Target states :meth:`wait_for` can watch, mapped to the engine
+    #: event-kind suffix that announces them.
+    WAITABLE_STATES = {
+        ExecutionState.COMPLETED: "completed",
+        ExecutionState.FAILED: "failed",
+        ExecutionState.RUNNING: "started",
+        ExecutionState.CANCELLED: "cancelled",
+    }
+
     def wait_for(self, request_id: str, key: str = "",
                  state: ExecutionState = ExecutionState.COMPLETED) -> Event:
         """Simulation event triggering when task ``key`` reaches ``state``.
 
         Triggers immediately if the task is already there. Yields the
         matching :class:`EngineEvent` (or a synthetic one when already
-        satisfied).
+        satisfied). Only states the engine announces are watchable
+        (:attr:`WAITABLE_STATES`); asking for any other state — PENDING,
+        PAUSED — raises :class:`ValueError` rather than registering a
+        wait that could never trigger.
         """
+        kind = self.WAITABLE_STATES.get(state)
+        if kind is None:
+            raise ValueError(
+                f"cannot wait for state {state.value!r}; watchable states "
+                f"are {sorted(s.value for s in self.WAITABLE_STATES)}")
         event = self.server.env.event()
         status = self.server.status(request_id).find(key)
         if status is not None and status.state is state:
@@ -82,12 +104,6 @@ class ExecutionMonitor:
                 kind="already", request_id=request_id, instance_key=key,
                 time=self.server.env.now))
             return event
-        kind = {
-            ExecutionState.COMPLETED: "completed",
-            ExecutionState.FAILED: "failed",
-            ExecutionState.RUNNING: "started",
-            ExecutionState.CANCELLED: "cancelled",
-        }.get(state)
         self._waits.append(({"request_id": request_id, "key": key,
                              "suffix": kind}, event))
         return event

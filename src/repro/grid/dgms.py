@@ -234,6 +234,19 @@ class DataGridManagementSystem:
     # Timed data operations (each returns a sim Process to yield on)
     # ------------------------------------------------------------------
 
+    def _spawn(self, generator) -> Process:
+        """Run a data operation as a kernel process.
+
+        The spawning process's span context (typically an engine step's
+        span, pinned on ``Process._tspan``) is copied onto the new
+        process so transfer spans started there nest correctly.
+        """
+        process = self.env.process(generator)
+        active = self.env._active_process
+        if active is not None:
+            process._tspan = active._tspan
+        return process
+
     def put(self, user: User, path: str, size: float, logical_resource: str,
             source_domain: Optional[str] = None,
             metadata: Optional[Dict[str, MetadataValue]] = None) -> Process:
@@ -242,7 +255,7 @@ class DataGridManagementSystem:
         If ``source_domain`` is given the bytes travel over the network from
         there to the chosen storage domain first.
         """
-        return self.env.process(self._put(
+        return self._spawn(self._put(
             user, path, size, logical_resource, source_domain, metadata))
 
     def _put(self, user, path, size, logical_resource, source_domain, metadata):
@@ -285,7 +298,7 @@ class DataGridManagementSystem:
         transfer time — the DGMS-side replica selection of §2.3) or
         ``fixed`` (always the first replica — the baseline for E7).
         """
-        return self.env.process(self._get(user, path, to_domain, replica_policy))
+        return self._spawn(self._get(user, path, to_domain, replica_policy))
 
     def select_replica(self, obj: DataObject, to_domain: str,
                        policy: str = "nearest") -> Replica:
@@ -318,7 +331,7 @@ class DataGridManagementSystem:
     def replicate(self, user: User, path: str, to_logical_resource: str,
                   replica_policy: str = "nearest") -> Process:
         """Create an additional replica on ``to_logical_resource``."""
-        return self.env.process(self._replicate(
+        return self._spawn(self._replicate(
             user, path, to_logical_resource, replica_policy))
 
     def _replicate(self, user, path, to_logical_resource, replica_policy):
@@ -353,7 +366,7 @@ class DataGridManagementSystem:
     def migrate(self, user: User, path: str, from_physical: str,
                 to_logical_resource: str) -> Process:
         """Move one replica to another resource (ILM's placement change)."""
-        return self.env.process(self._migrate(
+        return self._spawn(self._migrate(
             user, path, from_physical, to_logical_resource))
 
     def _migrate(self, user, path, from_physical, to_logical_resource):
@@ -391,7 +404,7 @@ class DataGridManagementSystem:
 
     def remove_replica(self, user: User, path: str, physical_name: str) -> Process:
         """Delete one replica; the last good replica cannot be removed."""
-        return self.env.process(self._remove_replica(user, path, physical_name))
+        return self._spawn(self._remove_replica(user, path, physical_name))
 
     def _remove_replica(self, user, path, physical_name):
         obj = self.namespace.resolve_object(path)
@@ -414,7 +427,7 @@ class DataGridManagementSystem:
 
     def delete(self, user: User, path: str) -> Process:
         """Remove a data object and every replica."""
-        return self.env.process(self._delete(user, path))
+        return self._spawn(self._delete(user, path))
 
     def _delete(self, user, path):
         obj = self.namespace.resolve_object(path)
@@ -440,7 +453,7 @@ class DataGridManagementSystem:
         changed by any overwrite, which is all the data-integrity pipelines
         (§4's UCSD Libraries run) rely on.
         """
-        return self.env.process(self._checksum(user, path, algorithm))
+        return self._spawn(self._checksum(user, path, algorithm))
 
     def _checksum(self, user, path, algorithm):
         if algorithm != "md5":
@@ -465,7 +478,7 @@ class DataGridManagementSystem:
 
     def overwrite(self, user: User, path: str, new_size: float) -> Process:
         """Replace an object's contents (version bump; other replicas go stale)."""
-        return self.env.process(self._overwrite(user, path, new_size))
+        return self._spawn(self._overwrite(user, path, new_size))
 
     def _overwrite(self, user, path, new_size):
         obj = self.namespace.resolve_object(path)

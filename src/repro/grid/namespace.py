@@ -334,6 +334,9 @@ class LogicalNamespace:
 
     def __init__(self) -> None:
         self.catalog = GridCatalog()
+        #: Attached telemetry session (set by ``attach_telemetry``); the
+        #: query planner reports access-path metrics through it.
+        self.telemetry = None
         self._guid_counter = itertools.count(1)
         self._replica_counter = itertools.count(1)
         self.root = Collection(name="", owner=None, created_at=0.0)

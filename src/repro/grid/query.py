@@ -139,11 +139,15 @@ class Query:
 
     def run(self, namespace: LogicalNamespace) -> List[DataObject]:
         """Evaluate against ``namespace``, in deterministic path order."""
+        telemetry = getattr(namespace, "telemetry", None)
         scope = namespace.resolve_collection(self.collection)
         if not self.recursive:
-            results = [c for c in scope.children()
-                       if isinstance(c, DataObject) and self.matches(c)]
+            children = [c for c in scope.children()
+                        if isinstance(c, DataObject)]
+            results = [c for c in children if self.matches(c)]
             results.sort(key=lambda o: o.path)
+            if telemetry is not None:
+                self._account(telemetry, "children", len(children))
             return results[: self.limit] if self.limit is not None else results
 
         candidates = self._best_index_candidates(namespace)
@@ -154,17 +158,29 @@ class Query:
                          if o.path.startswith(scope_path + "/")])
             results = [obj for obj in in_scope if self.matches(obj)]
             results.sort(key=lambda o: o.path)
+            if telemetry is not None:
+                self._account(telemetry, "index", len(in_scope))
             return results[: self.limit] if self.limit is not None else results
 
         # Scan path: path-ordered traversal allows a true early exit once
         # ``limit`` matches are in hand.
         results = []
+        examined = 0
         for obj in namespace.iter_objects_in_path_order(self.collection):
+            examined += 1
             if self.matches(obj):
                 results.append(obj)
                 if self.limit is not None and len(results) >= self.limit:
                     break
+        if telemetry is not None:
+            self._account(telemetry, "scan", examined)
         return results
+
+    @staticmethod
+    def _account(telemetry, access_path: str, examined: int) -> None:
+        """Record which access path answered a query and at what cost."""
+        telemetry.catalog_queries.labels(access_path=access_path).inc()
+        telemetry.catalog_candidates.inc(examined)
 
     def run_scan(self, namespace: LogicalNamespace) -> List[DataObject]:
         """Brute-force evaluation (the pre-catalog semantics).

@@ -10,7 +10,7 @@ queries, and provenance (§2.1's requirement list).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExpressionError, NamespaceError, PolicyError
 from repro.dfms.context import ExecutionContext
@@ -48,8 +48,21 @@ class ILMManager:
         self._policies: Dict[str, ILMPolicy] = {}
         self.passes: List[PassRecord] = []
         self._recurring_stop: Dict[str, bool] = {}
+        #: Observers of ILM progress (same idiom as ``FlowEngine.
+        #: listeners``); each is called as
+        #: listener(kind, policy_name, time, detail_dict).
+        self.listeners: List[Callable] = []
         server.registry.register("ilm.gate", self._op_gate, replace=True)
         server.registry.register("ilm.apply", self._op_apply, replace=True)
+
+    # -- notifications -------------------------------------------------------
+
+    def _notify(self, kind: str, policy_name: str, **detail) -> None:
+        for listener in self.listeners:
+            listener(kind, policy_name, self.env.now, detail)
+        t = self.env.telemetry
+        if t is not None:
+            t.log.emit(f"ilm.{kind}", policy=policy_name, **detail)
 
     # -- policies ------------------------------------------------------------
 
@@ -80,6 +93,11 @@ class ILMManager:
         self.passes.append(PassRecord(policy=policy_name,
                                       request_id=response.request_id,
                                       started_at=self.env.now))
+        t = self.env.telemetry
+        if t is not None:
+            t.ilm_passes.labels(policy=policy_name).inc()
+        self._notify("pass_submitted", policy_name,
+                     request_id=response.request_id)
         return response.request_id
 
     def run_pass_sync(self, policy_name: str, user: User):
@@ -90,6 +108,8 @@ class ILMManager:
         record.finished_at = self.env.now
         status = self.server.status(request_id)
         record.state = status.state.value
+        self._notify("pass_completed", policy_name, request_id=request_id,
+                     state=record.state)
         return status
 
     def start_recurring(self, policy_name: str, user: User,
@@ -132,9 +152,13 @@ class ILMManager:
         """Evaluate the policy's rules for one object and act."""
         policy = self.policy(params["policy"])
         path = params["path"]
+        t = self.env.telemetry
         # One namespace walk instead of a separate exists + resolve.
         obj = self.dgms.namespace.try_resolve(path)
         if obj is None:
+            if t is not None:
+                t.ilm_apply.labels(policy=policy.name,
+                                   outcome="vanished").inc()
             return "vanished"
         if not isinstance(obj, DataObject):
             raise NamespaceError(f"{path!r} is a collection, not a data object")
@@ -158,8 +182,17 @@ class ILMManager:
                     f"policy {policy.name!r} rule {rule.name!r}: {exc}"
                 ) from None
         if chosen is None:
+            if t is not None:
+                t.ilm_apply.labels(policy=policy.name,
+                                   outcome="no-match").inc()
             return "no-match"
         outcome = yield from self._perform(ctx, obj, policy, chosen)
+        if t is not None:
+            t.ilm_apply.labels(policy=policy.name, outcome="applied").inc()
+            t.ilm_actions.labels(policy=policy.name, rule=chosen.name,
+                                 outcome=outcome).inc()
+        self._notify("applied", policy.name, path=path, rule=chosen.name,
+                     outcome=outcome)
         if outcome != "deleted" and self.dgms.namespace.exists(path):
             self.dgms.set_metadata(ctx.user, path, policy.mark_attribute,
                                    chosen.name)

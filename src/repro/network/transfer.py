@@ -62,6 +62,8 @@ class _ActiveTransfer:
     remaining: float
     rate: float = 0.0
     done: Event = None  # type: ignore[assignment]
+    #: Open telemetry span (None when no session is attached).
+    span: object = None
 
 
 class TransferService:
@@ -74,6 +76,10 @@ class TransferService:
         self._wake_generation = 0
         self.total_bytes_moved = 0.0
         self.completed: List[TransferStats] = []
+        # Utilization gauge children by link ends (avoids re-resolving
+        # label children on every rate recomputation).
+        self._link_gauges: Dict[frozenset, object] = {}
+        self._collector_registered = False
 
     # -- public API ---------------------------------------------------------
 
@@ -86,12 +92,25 @@ class TransferService:
         stats = TransferStats(src=src, dst=dst, nbytes=nbytes,
                               start_time=self.env.now, end_time=self.env.now,
                               hops=len(links))
+        t = self.env.telemetry
+        if t is None:
+            span = None
+        else:
+            # The calling process's span context (typically an engine
+            # step's span, via Process._tspan) parents the span, nesting
+            # flow -> step -> transfer.
+            active = self.env._active_process
+            span = t.tracer.begin(
+                "transfer", None if active is None else active._tspan,
+                {"src": src, "dst": dst, "nbytes": nbytes,
+                 "hops": len(links)})
         if not links or nbytes == 0:
             # Local (same-domain) or empty transfer: instantaneous.
-            self._finish(stats, done)
+            self._finish(stats, done, span)
             return done
         latency = sum(link.latency_s for link in links)
-        self.env.process(self._admit_after_latency(latency, stats, links, done))
+        self.env.process(
+            self._admit_after_latency(latency, stats, links, done, span))
         return done
 
     @property
@@ -106,10 +125,11 @@ class TransferService:
 
     # -- internals ----------------------------------------------------------
 
-    def _admit_after_latency(self, latency, stats, links, done):
+    def _admit_after_latency(self, latency, stats, links, done, span=None):
         yield self.env.timeout(latency)
         transfer = _ActiveTransfer(stats=stats, links=links,
-                                   remaining=stats.nbytes, done=done)
+                                   remaining=stats.nbytes, done=done,
+                                   span=span)
         # end_time doubles as "last settled" during streaming; start the
         # clock at admission, not at the original call instant.
         stats.end_time = self.env.now
@@ -118,13 +138,22 @@ class TransferService:
         self._recompute_rates()
         self._schedule_wake()
 
-    def _finish(self, stats: TransferStats, done: Event) -> None:
+    def _finish(self, stats: TransferStats, done: Event,
+                span=None) -> None:
         stats.end_time = self.env.now
         if stats.hops:
             # Only traffic that actually crossed a link is WAN movement;
             # same-domain accesses are free (data virtualization's point).
             self.total_bytes_moved += stats.nbytes
         self.completed.append(stats)
+        t = self.env.telemetry
+        if t is not None:
+            if span is not None:
+                t.tracer.finish(span)
+            # Counters, duration samples, and the log record are all
+            # derived from the stats object at export time
+            # (Telemetry collect); the hot path only stashes it.
+            t.net_pending.append(stats)
         done.succeed(stats)
 
     def _settle_progress(self) -> None:
@@ -138,7 +167,7 @@ class TransferService:
                     if t.remaining <= self._finish_tolerance(t, now)]
         for transfer in finished:
             self._active.remove(transfer)
-            self._finish(transfer.stats, transfer.done)
+            self._finish(transfer.stats, transfer.done, transfer.span)
 
     @staticmethod
     def _finish_tolerance(transfer: _ActiveTransfer, now: float) -> float:
@@ -165,6 +194,38 @@ class TransferService:
         for transfer in self._active:
             transfer.rate = min(
                 link.bandwidth_bps / loads[link.ends] for link in transfer.links)
+        t = self.env.telemetry
+        if t is not None and not self._collector_registered:
+            # Gauges only ever expose their latest value, so recording on
+            # every recomputation would be pure overhead: register a
+            # collect-time reader instead (runs once per export).
+            self._collector_registered = True
+            t.collectors.append(lambda: self._record_link_utilization(t))
+
+    def _record_link_utilization(self, telemetry) -> None:
+        """Gauge the in-use fraction of every link busy right now.
+
+        Runs at export time (a telemetry collector, not the transfer hot
+        path). Links that went idle are reset to 0 so the export reflects
+        the current instant, not the last busy one.
+        """
+        used: Dict[frozenset, float] = {}
+        capacity: Dict[frozenset, float] = {}
+        for transfer in self._active:
+            for link in transfer.links:
+                used[link.ends] = used.get(link.ends, 0.0) + transfer.rate
+                capacity[link.ends] = link.bandwidth_bps
+        gauges = self._link_gauges
+        for ends, rate in used.items():
+            series = gauges.get(ends)
+            if series is None:
+                series = telemetry.net_link_utilization.labels(
+                    link="--".join(sorted(ends)))
+                gauges[ends] = series
+            series.set(rate / capacity[ends])
+        for ends, series in gauges.items():
+            if ends not in used and series.value != 0.0:
+                series.set(0.0)
 
     def _schedule_wake(self) -> None:
         """Arrange to wake at the next transfer completion."""

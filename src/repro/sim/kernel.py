@@ -148,13 +148,19 @@ class Process(Event):
     with the exception that escaped the generator.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_spawned_at", "_tspan")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
             raise SimError(f"process target must be a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        self._spawned_at = env._now
+        #: Telemetry span context this process runs under. Spawners copy
+        #: their own span (or their own _tspan) here so work started in
+        #: the child — transfers, nested spawns — parents correctly. Dies
+        #: with the process, so no cleanup and no id()-reuse hazard.
+        self._tspan = None
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -204,12 +210,22 @@ class Process(Event):
                 self._ok = True
                 self._value = stop.value
                 self.env._schedule(self)
+                t = self.env.telemetry
+                if t is not None:
+                    now = self.env._now
+                    t.sim_process_lifetimes.append(
+                        (now, now - self._spawned_at))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
                 self.defused = False
                 self.env._schedule(self)
+                t = self.env.telemetry
+                if t is not None:
+                    now = self.env._now
+                    t.sim_process_lifetimes.append(
+                        (now, now - self._spawned_at))
                 break
 
             if not isinstance(target, Event):
@@ -303,6 +319,10 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Attached :class:`~repro.telemetry.core.Telemetry` session, or
+        #: None (the default). The kernel and every subsystem holding this
+        #: environment guard their instrumentation on this attribute.
+        self.telemetry = None
 
     # -- clock ------------------------------------------------------------
 
@@ -341,6 +361,9 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        # Deliberately no telemetry here: this is the hottest line in the
+        # repository. Telemetry.collect derives scheduled/fired counts
+        # from _eid and the queue length instead.
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
         self._eid += 1
 

@@ -1,0 +1,43 @@
+"""Unified telemetry: sim-time metrics, tracing spans, structured events.
+
+§2.1 requires a "programmatic API to query and monitor any step in the
+datagrid ILM process". This package is that axis for the whole
+reproduction: a label-aware metrics registry, hierarchical tracing spans
+that nest across simulation processes (flow → step → transfer), and a
+structured event log — all clocked on the simulation's virtual time so
+telemetry is exactly as deterministic as the run it observes — plus
+Prometheus-text and JSONL exporters.
+
+Telemetry is opt-in: nothing is recorded until
+:func:`attach_telemetry` (or :func:`instrument_scenario`) hangs a
+:class:`Telemetry` session off the environment. Instrumented subsystems —
+the sim kernel, DfMS engine, ILM manager, trigger manager, network
+transfer service, and catalog query planner — each guard on the session's
+absence, so the disabled mode costs one branch per instrumentation point.
+"""
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.events import EventLog, TelemetryRecord
+from repro.telemetry.exporters import (
+    jsonl_lines,
+    prometheus_text,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.telemetry.instrument import attach_telemetry, instrument_scenario
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "Tracer", "Span",
+    "EventLog", "TelemetryRecord",
+    "prometheus_text", "jsonl_lines", "write_prometheus", "write_jsonl",
+    "attach_telemetry", "instrument_scenario",
+]

@@ -1,0 +1,248 @@
+"""The telemetry session facade.
+
+One :class:`Telemetry` object bundles the three surfaces — metrics,
+tracing spans, structured event log — behind a single handle that hangs
+off the simulation :class:`~repro.sim.kernel.Environment` as
+``env.telemetry``. Instrumented subsystems read that attribute and guard
+on ``None``, so a run without telemetry pays one attribute load and a
+branch per instrumentation point (measured in
+``benchmarks/test_e19_telemetry.py``) and nothing else.
+
+The sim kernel is the one subsystem too hot for *any* per-event
+instrumentation, so its event loop carries none: scheduled/fired counts
+are derived at export time from bookkeeping the kernel already does
+(its monotonic event id and the heap length — see
+:attr:`Telemetry.sim_scheduled`). Only process *completion* records
+anything (a single lifetime sample).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Tuple
+
+from repro.telemetry.events import EventLog, TelemetryRecord
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Metrics + tracer + event log, all clocked on one environment."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+        # The one shared clock. partial(getattr, ...) stays in C — no
+        # Python frame per timestamp, unlike a lambda.
+        clock = partial(getattr, env, "_now")
+        self.metrics = MetricsRegistry(clock)
+        self.tracer = Tracer(clock, env)
+        self.log = EventLog(clock)
+
+        # -- sim kernel: derived from its own bookkeeping at collect() ----
+        #: Kernel event id and heap length at attach time; collect()
+        #: subtracts these so counts start at zero per session.
+        self._eid_at_attach = env._eid
+        self._queued_at_attach = len(env._queue)
+        metric = self.metrics
+        #: Completed process (sim_time, lifetime_seconds) pairs. This IS
+        #: the lifetime histogram's raw sample list: the kernel appends
+        #: pairs here and collect() folds them into buckets (Histogram
+        #: defers bucket work to export for exactly this reason).
+        self.sim_process_lifetimes: List[Tuple[float, float]] = (
+            metric.histogram(
+                "sim_process_lifetime_seconds",
+                "Virtual lifetime of completed simulation processes")
+            .samples)
+        # -- DfMS engine ---------------------------------------------------
+        self.dfms_engine_events = metric.counter(
+            "dfms_engine_events_total",
+            "Engine progress events, by kind", ["kind"])
+        self.dfms_step_retries = metric.counter(
+            "dfms_step_retries_total",
+            "Step operation retries taken by onError fault handling")
+        self.dfms_step_duration = metric.histogram(
+            "dfms_step_duration_seconds",
+            "Virtual-time duration of completed steps")
+        # -- ILM engine ----------------------------------------------------
+        self.ilm_passes = metric.counter(
+            "ilm_passes_total", "Policy passes submitted", ["policy"])
+        self.ilm_apply = metric.counter(
+            "ilm_apply_total",
+            "Per-object policy evaluations, by outcome",
+            ["policy", "outcome"])
+        self.ilm_actions = metric.counter(
+            "ilm_actions_total",
+            "Placement actions performed, by rule and outcome",
+            ["policy", "rule", "outcome"])
+        # -- trigger manager -----------------------------------------------
+        self.trigger_events = metric.counter(
+            "trigger_events_total", "Namespace events seen by the manager")
+        self.trigger_evals = metric.counter(
+            "trigger_condition_evals_total",
+            "Trigger condition evaluations")
+        self.trigger_firings = metric.counter(
+            "trigger_firings_total",
+            "Condition-met trigger activations", ["trigger"])
+        self.trigger_conflicts = metric.counter(
+            "trigger_ordering_conflicts_total",
+            "Events matched by more than one trigger (order-dependent)")
+        # -- network transfers ---------------------------------------------
+        self.net_transfers = metric.counter(
+            "net_transfers_total", "Completed transfers", ["scope"])
+        self.net_transfers_wan = self.net_transfers.labels(scope="wan")
+        self.net_transfers_local = self.net_transfers.labels(scope="local")
+        self.net_bytes = metric.counter(
+            "net_bytes_moved_total", "Bytes moved across WAN links")
+        self.net_transfer_duration = metric.histogram(
+            "net_transfer_duration_seconds",
+            "Virtual-time duration of completed WAN transfers")
+        self.net_link_utilization = metric.gauge(
+            "net_link_utilization_ratio",
+            "Fraction of a link's bandwidth in use", ["link"])
+        # -- catalog query planner -----------------------------------------
+        self.catalog_queries = metric.counter(
+            "catalog_queries_total",
+            "Datagrid queries, by planner access path", ["access_path"])
+        self.catalog_candidates = metric.counter(
+            "catalog_candidates_examined_total",
+            "Candidate objects examined while answering queries")
+        # Per-kind engine counter cache: the deferred engine events fold
+        # (collect) skips the labels() keyword plumbing on repeat kinds.
+        self._engine_kind_counters = {}
+        #: Engine bus events not yet materialized into counters and log
+        #: records — engine_listener only appends raw tuples here.
+        self._engine_pending = []
+        #: Completed TransferStats not yet materialized — the transfer
+        #: service appends the stats object it already built and
+        #: collect() derives counters, samples, and log records.
+        self.net_pending = []
+        #: Callbacks run by :meth:`collect` — subsystems whose state is
+        #: only worth gauging at export time (e.g. link utilization)
+        #: register one instead of updating gauges on their hot path.
+        self.collectors = []
+
+    # -- sim kernel (derived) ------------------------------------------------
+
+    @property
+    def sim_scheduled(self) -> int:
+        """Events pushed onto the kernel heap since attach.
+
+        The kernel's monotonic event id *is* a push counter, so this
+        costs the kernel nothing per event.
+        """
+        return self.env._eid - self._eid_at_attach
+
+    @property
+    def sim_fired(self) -> int:
+        """Events popped and processed since attach.
+
+        Pops = pushes minus what is still queued (events queued before
+        attach and fired after count as fired, hence the baseline).
+        """
+        return self.sim_scheduled - (len(self.env._queue) -
+                                     self._queued_at_attach)
+
+    # -- engine event bus ----------------------------------------------------
+
+    def engine_listener(self, kind, execution, instance_key, time,
+                        detail) -> None:
+        """`FlowEngine.listeners` subscriber: one emission path for all.
+
+        Attached by :func:`~repro.telemetry.instrument.attach_telemetry`
+        next to any :class:`~repro.dfms.monitoring.ExecutionMonitor`, so
+        push-watchers, metrics, and the event log all observe the same
+        stream. Runs twice per step, so it only stashes the raw event;
+        counters and log records are materialized by :meth:`collect`.
+        """
+        self._engine_pending.append(
+            (time, kind, execution.request_id, instance_key, detail))
+
+    def _fold_engine_events(self) -> None:
+        """Materialize pending engine bus events (counters + log)."""
+        pending = self._engine_pending
+        if not pending:
+            return
+        records = self.log.records
+        kind_counters = self._engine_kind_counters
+        for time, kind, request_id, instance_key, detail in pending:
+            cached = kind_counters.get(kind)
+            if cached is None:
+                cached = (self.dfms_engine_events.labels(kind=kind),
+                          f"engine.{kind}")
+                kind_counters[kind] = cached
+            counter, log_kind = cached
+            counter.value += 1.0
+            counter.last_updated = time
+            fields = {"request_id": request_id, "key": instance_key}
+            if detail:
+                fields.update(detail)
+            records.append(
+                tuple.__new__(TelemetryRecord, (time, log_kind, fields)))
+        del pending[:]
+
+    def _fold_net_transfers(self) -> None:
+        """Materialize pending transfer completions (counters + log)."""
+        pending = self.net_pending
+        if not pending:
+            return
+        records = self.log.records
+        wan = self.net_transfers_wan
+        local = self.net_transfers_local
+        moved = self.net_bytes
+        samples = self.net_transfer_duration.samples
+        for stats in pending:
+            now = stats.end_time
+            duration = stats.duration
+            if stats.hops:
+                wan.value += 1.0
+                wan.last_updated = now
+                moved.value += stats.nbytes
+                moved.last_updated = now
+                samples.append((now, duration))
+            else:
+                local.value += 1.0
+                local.last_updated = now
+            records.append(tuple.__new__(TelemetryRecord, (
+                now, "net.transfer",
+                {"src": stats.src, "dst": stats.dst,
+                 "nbytes": stats.nbytes, "hops": stats.hops,
+                 "duration": duration})))
+        del pending[:]
+
+    # -- export-time folding -------------------------------------------------
+
+    def collect(self) -> MetricsRegistry:
+        """Fold every deferred surface and return the metrics registry.
+
+        Runs collectors, derives the kernel's counters, materializes
+        pending engine events, and folds histogram samples (process
+        lifetimes included) into their buckets. Idempotent — exporters
+        call it every time they render.
+        """
+        for collector in self.collectors:
+            collector()
+        self._fold_engine_events()
+        self._fold_net_transfers()
+        # Live emitters (ILM, triggers) interleave with the deferred
+        # folds above; restore sim-time order (stable, so same-time
+        # records keep their emission order).
+        self.log.records.sort(key=lambda record: record[0])
+        metric = self.metrics
+        metric.counter(
+            "sim_events_scheduled_total",
+            "Events pushed onto the kernel heap").value = float(
+                self.sim_scheduled)
+        metric.counter(
+            "sim_events_fired_total",
+            "Events popped and processed").value = float(self.sim_fired)
+        metric.gauge(
+            "sim_queue_depth",
+            "Events waiting on the kernel heap right now").value = float(
+                len(self.env._queue))
+        for instrument in metric.metrics():
+            if instrument.kind == "histogram":
+                for _, series in instrument.series():
+                    series._fold()
+        return metric

@@ -1,0 +1,54 @@
+"""Wiring telemetry into a deployment.
+
+Instrumentation points live inside each subsystem, guarded on
+``env.telemetry is None`` — this module is only the attach surface:
+
+* :func:`attach_telemetry` — create a session on one environment and
+  (optionally) subscribe it to a DfMS server's engine event bus and a
+  DGMS's namespace, covering all six instrumented subsystems.
+* :func:`instrument_scenario` — one-call convenience for the workload
+  scenario builders.
+
+Nothing here (or anywhere) turns telemetry on implicitly: the default is
+no session at all, and the instrumentation guards keep that default
+effectively free (``benchmarks/test_e19_telemetry.py`` measures both
+modes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.core import Telemetry
+
+__all__ = ["attach_telemetry", "instrument_scenario"]
+
+
+def attach_telemetry(env, server=None, dgms=None) -> Telemetry:
+    """Create a telemetry session and wire it to a deployment.
+
+    ``env`` gains a ``telemetry`` attribute the sim kernel, DfMS engine,
+    ILM manager, trigger manager, and transfer service all read. When a
+    ``server`` is given, the session subscribes to its engine's listener
+    bus — the same emission path :class:`~repro.dfms.monitoring.
+    ExecutionMonitor` uses — and its DGMS's namespace is tagged so the
+    catalog query planner can report access-path metrics. Attaching twice
+    returns the existing session.
+    """
+    existing: Optional[Telemetry] = getattr(env, "telemetry", None)
+    telemetry = existing if existing is not None else Telemetry(env)
+    env.telemetry = telemetry
+    if server is not None and dgms is None:
+        dgms = server.dgms
+    if server is not None:
+        if telemetry.engine_listener not in server.engine.listeners:
+            server.engine.listeners.append(telemetry.engine_listener)
+    if dgms is not None:
+        dgms.namespace.telemetry = telemetry
+    return telemetry
+
+
+def instrument_scenario(scenario) -> Telemetry:
+    """Attach telemetry to a :class:`~repro.workloads.scenarios.Scenario`."""
+    return attach_telemetry(scenario.env, server=scenario.server,
+                            dgms=scenario.dgms)

@@ -17,7 +17,7 @@ measures the resulting order-dependence).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExpressionError, TriggerError
 from repro.dfms.server import DfMSServer
@@ -61,7 +61,20 @@ class TriggerManager:
         self._registration_order: List[str] = []
         self.firing_log: List[TriggerFiring] = []
         self.events_seen = 0
+        #: Observers of trigger activity (same idiom as ``FlowEngine.
+        #: listeners``); each is called as
+        #: listener(kind, trigger_name, time, detail_dict).
+        self.listeners: List[Callable] = []
         dgms.events.subscribe(self._on_event)
+
+    # -- notifications -------------------------------------------------------
+
+    def _notify(self, kind: str, trigger_name: str, **detail) -> None:
+        for listener in self.listeners:
+            listener(kind, trigger_name, self.dgms.env.now, detail)
+        t = self.dgms.env.telemetry
+        if t is not None:
+            t.log.emit(f"trigger.{kind}", trigger=trigger_name, **detail)
 
     # -- registration ------------------------------------------------------
 
@@ -115,18 +128,29 @@ class TriggerManager:
 
     def _on_event(self, event: NamespaceEvent) -> None:
         self.events_seen += 1
+        t = self.dgms.env.telemetry
+        if t is not None:
+            t.trigger_events.inc()
         matches = self._ordered_matches(event)
         if not matches:
             return
+        if t is not None and len(matches) > 1:
+            # More than one trigger on the same event: the §2.2
+            # order-dependence hazard the ordering strategy arbitrates.
+            t.trigger_conflicts.inc()
         scope = self._condition_scope(event)
         for trigger in matches:
             try:
                 met = bool(evaluate_condition(trigger.condition, scope))
             except ExpressionError:
                 met = False   # a broken condition never fires (documented)
+            if t is not None:
+                t.trigger_evals.inc()
             request_id = None
             if met:
                 trigger.firings += 1
+                if t is not None:
+                    t.trigger_firings.labels(trigger=trigger.name).inc()
                 if self.server is not None:
                     response = self.server.submit(DataGridRequest(
                         user=trigger.owner.qualified_name,
@@ -138,6 +162,10 @@ class TriggerManager:
                 trigger_name=trigger.name, event_path=event.path,
                 event_kind=event.kind.value, time=event.time,
                 condition_met=met, request_id=request_id))
+            self._notify("fired" if met else "rejected", trigger.name,
+                         event_path=event.path,
+                         event_kind=event.kind.value,
+                         request_id=request_id)
 
     # -- introspection ------------------------------------------------------
 

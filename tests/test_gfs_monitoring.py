@@ -200,6 +200,56 @@ def test_wait_for_execution_completion(dfms):
     assert dfms.run(waiter()) == 10.0
 
 
+def test_wait_for_unwatchable_state_raises(dfms):
+    """States the engine never announces are rejected up front instead of
+    registering a wait that could never trigger."""
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+    with pytest.raises(ValueError, match="pending"):
+        monitor.wait_for(ack.request_id, "a", state=ExecutionState.PENDING)
+    with pytest.raises(ValueError, match="paused"):
+        monitor.wait_for(ack.request_id, "a", state=ExecutionState.PAUSED)
+    dfms.env.run()   # the run itself is unaffected
+
+
+def test_watch_filters_are_conjunctive(dfms):
+    """A watcher with several filters only sees events matching all."""
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+    submit(dfms, slow_flow("other"))
+    received = []
+    monitor.watch(received.append, request_id=ack.request_id,
+                  kind="step_completed", key_prefix="b")
+    dfms.env.run()
+    assert [event.instance_key for event in received] == ["b"]
+    assert all(event.request_id == ack.request_id for event in received)
+
+
+def test_unsubscribe_during_dispatch(dfms):
+    """A watcher that unsubscribes from inside its own callback is not
+    re-entered, and unsubscribing twice is harmless."""
+    monitor = ExecutionMonitor(dfms.server)
+    received = []
+
+    def once(event):
+        received.append(event)
+        unsubscribe()
+        unsubscribe()   # second call is a no-op
+
+    unsubscribe = monitor.watch(once, kind="step_completed")
+    submit(dfms, slow_flow())
+    dfms.env.run()
+    assert len(received) == 1
+
+
+def test_strip_iterations():
+    from repro.dfms.monitoring import _strip_iterations
+    assert _strip_iterations("loop[2]/work") == "loop/work"
+    assert _strip_iterations("a[0]/b[13]/c") == "a/b/c"
+    assert _strip_iterations("plain/key") == "plain/key"
+    assert _strip_iterations("") == ""
+
+
 def test_wait_for_matches_loop_iterations(dfms):
     flow = (flow_builder("loop")
             .repeat(3)
