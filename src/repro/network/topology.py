@@ -58,6 +58,19 @@ class Topology:
     def __init__(self) -> None:
         self._domains: set = set()
         self._adjacency: Dict[str, List[Link]] = {}
+        self._version = 0
+        #: (src, dst) -> (version when computed, path). Entries from an
+        #: older version are stale and recomputed on the next lookup.
+        self._route_cache: Dict[Tuple[str, str], Tuple[int, List[Link]]] = {}
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped whenever a link is added or replaced.
+
+        Consumers caching routing decisions (including this class's own
+        route cache) compare against it to detect topology changes.
+        """
+        return self._version
 
     @property
     def domains(self) -> frozenset:
@@ -91,6 +104,7 @@ class Topology:
             self._adjacency[end] = [
                 l for l in self._adjacency[end] if l.ends != link.ends]
             self._adjacency[end].append(link)
+        self._version += 1
         return link
 
     def link_between(self, a: str, b: str) -> Optional[Link]:
@@ -105,7 +119,9 @@ class Topology:
     def route(self, src: str, dst: str) -> List[Link]:
         """Lowest-latency path from ``src`` to ``dst`` as a list of links.
 
-        A same-domain route is the empty list (local access).
+        A same-domain route is the empty list (local access). Routes are
+        cached per (src, dst) and invalidated by the topology version, so
+        repeated transfers between the same pair skip Dijkstra entirely.
         """
         if src not in self._domains:
             raise NetworkError(f"unknown domain {src!r}")
@@ -113,6 +129,15 @@ class Topology:
             raise NetworkError(f"unknown domain {dst!r}")
         if src == dst:
             return []
+        cached = self._route_cache.get((src, dst))
+        if cached is not None and cached[0] == self._version:
+            # Copy: callers hold on to (and could mutate) the path list.
+            return list(cached[1])
+        path = self._dijkstra(src, dst)
+        self._route_cache[(src, dst)] = (self._version, path)
+        return list(path)
+
+    def _dijkstra(self, src: str, dst: str) -> List[Link]:
         dist: Dict[str, float] = {src: 0.0}
         prev: Dict[str, Tuple[str, Link]] = {}
         heap: List[Tuple[float, str]] = [(0.0, src)]

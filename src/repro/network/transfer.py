@@ -14,17 +14,33 @@ Equal-share-then-bottleneck slightly underuses links compared to true
 max-min fairness, but it is deterministic, monotone (more contention never
 speeds anyone up), and reproduces the contention shapes the experiments
 need.
+
+The engine is *incremental*: a per-link index of active transfers means a
+start or finish only re-rates the transfers that share a link with it —
+under equal sharing a transfer's rate depends solely on the occupancy of
+its own links, so the contention component of an event collapses to the
+direct link-sharers, and disjoint traffic is untouched. A transfer is
+settled (its progress advanced to "now") only when its rate actually
+changes; between rate changes it drains linearly and needs no bookkeeping.
+Projected finish times live in a lazily-invalidated min-heap that drives a
+single persistent, reschedulable kernel timer — no throwaway wake
+processes. The superseded global model survives as
+:meth:`TransferService._recompute_rates_full` (``incremental=False``) and
+is exercised by the equivalence tests and ``benchmarks/test_e20_network.py``;
+because both modes settle under the identical "only on rate change" rule,
+their per-transfer completion times are bit-identical.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import NetworkError
 from repro.network.topology import Link, Topology
-from repro.sim.kernel import Environment, Event
+from repro.sim.kernel import Environment, Event, Timeout
 
 __all__ = ["TransferService", "TransferStats"]
 
@@ -55,25 +71,57 @@ class TransferStats:
         return self.nbytes / self.duration
 
 
-@dataclass
 class _ActiveTransfer:
-    stats: TransferStats
-    links: List[Link]
-    remaining: float
-    rate: float = 0.0
-    done: Event = None  # type: ignore[assignment]
-    #: Open telemetry span (None when no session is attached).
-    span: object = None
+    """Book-keeping for one streaming transfer (identity-hashed)."""
+
+    __slots__ = ("stats", "links", "remaining", "rate", "done", "span",
+                 "version")
+
+    def __init__(self, stats: TransferStats, links: List[Link],
+                 done: Event, span: object = None) -> None:
+        self.stats = stats
+        self.links = links
+        self.remaining = stats.nbytes
+        self.rate = 0.0
+        self.done = done
+        #: Open telemetry span (None when no session is attached).
+        self.span = span
+        #: Bumped whenever the projected finish changes (or the transfer
+        #: leaves the active set); heap entries carrying an older version
+        #: are stale and dropped lazily.
+        self.version = 0
 
 
 class TransferService:
-    """Runs point-to-point transfers with per-link fair sharing."""
+    """Runs point-to-point transfers with per-link fair sharing.
 
-    def __init__(self, env: Environment, topology: Topology) -> None:
+    ``incremental=False`` selects the reference engine: every event
+    re-rates *all* active transfers via :meth:`_recompute_rates_full`
+    (O(active × links) per event) instead of just the affected set. Both
+    modes produce bit-identical completion times; the flag exists for
+    equivalence testing and benchmarking.
+    """
+
+    def __init__(self, env: Environment, topology: Topology,
+                 incremental: bool = True) -> None:
         self.env = env
         self.topology = topology
-        self._active: List[_ActiveTransfer] = []
-        self._wake_generation = 0
+        self.incremental = incremental
+        # Dict-as-ordered-set: O(1) membership/removal, deterministic
+        # iteration (kernel determinism forbids id-ordered sets).
+        self._active: Dict[_ActiveTransfer, None] = {}
+        #: Per-link index: link ends -> {transfer: the Link it crosses
+        #: there}. len() of an entry is that link's occupancy; entries are
+        #: removed when the last transfer leaves, so iterating the index
+        #: visits only busy links.
+        self._by_link: Dict[frozenset, Dict[_ActiveTransfer, Link]] = {}
+        #: Min-heap of (projected finish, seq, transfer version, transfer);
+        #: stale entries (version mismatch) are dropped when they surface.
+        self._finish_heap: list = []
+        self._heap_seq = 0
+        #: The single persistent wake timer, rescheduled in place as the
+        #: earliest projected finish moves.
+        self._timer: Optional[Timeout] = None
         self.total_bytes_moved = 0.0
         self.completed: List[TransferStats] = []
         # Utilization gauge children by link ends (avoids re-resolving
@@ -96,6 +144,12 @@ class TransferService:
         if t is None:
             span = None
         else:
+            if not self._collector_registered:
+                # Gauges only ever expose their latest value, so recording
+                # on every recomputation would be pure overhead: register a
+                # collect-time reader instead (runs once per export).
+                self._collector_registered = True
+                t.collectors.append(lambda: self._record_link_utilization(t))
             # The calling process's span context (typically an engine
             # step's span, via Process._tspan) parents the span, nesting
             # flow -> step -> transfer.
@@ -119,24 +173,35 @@ class TransferService:
         return len(self._active)
 
     def link_utilization(self, link: Link) -> float:
-        """Fraction of ``link``'s bandwidth in use right now."""
-        used = sum(t.rate for t in self._active if link in t.links)
+        """Fraction of ``link``'s bandwidth in use right now.
+
+        O(transfers on the link) via the per-link index, not O(all active
+        transfers).
+        """
+        state = self._by_link.get(link.ends)
+        if not state:
+            return 0.0
+        used = sum(t.rate for t, crossed in state.items() if crossed == link)
         return used / link.bandwidth_bps
 
     # -- internals ----------------------------------------------------------
 
     def _admit_after_latency(self, latency, stats, links, done, span=None):
         yield self.env.timeout(latency)
-        transfer = _ActiveTransfer(stats=stats, links=links,
-                                   remaining=stats.nbytes, done=done,
-                                   span=span)
+        transfer = _ActiveTransfer(stats, links, done, span)
         # end_time doubles as "last settled" during streaming; start the
         # clock at admission, not at the original call instant.
         stats.end_time = self.env.now
-        self._settle_progress()
-        self._active.append(transfer)
-        self._recompute_rates()
-        self._schedule_wake()
+        self._active[transfer] = None
+        touched = {}
+        for link in links:
+            self._by_link.setdefault(link.ends, {})[transfer] = link
+            touched[link.ends] = None
+        if self.incremental:
+            self._recompute_rates_affected(touched)
+        else:
+            self._recompute_rates_full()
+        self._arm_timer()
 
     def _finish(self, stats: TransferStats, done: Event,
                 span=None) -> None:
@@ -156,19 +221,6 @@ class TransferService:
             t.net_pending.append(stats)
         done.succeed(stats)
 
-    def _settle_progress(self) -> None:
-        """Advance every active transfer to the current instant."""
-        now = self.env.now
-        for transfer in self._active:
-            elapsed = now - transfer.stats.end_time
-            transfer.remaining -= transfer.rate * elapsed
-            transfer.stats.end_time = now
-        finished = [t for t in self._active
-                    if t.remaining <= self._finish_tolerance(t, now)]
-        for transfer in finished:
-            self._active.remove(transfer)
-            self._finish(transfer.stats, transfer.done, transfer.span)
-
     @staticmethod
     def _finish_tolerance(transfer: _ActiveTransfer, now: float) -> float:
         """Residual bytes below which a transfer counts as finished.
@@ -184,61 +236,174 @@ class TransferService:
                    1e-9 * transfer.stats.nbytes,
                    transfer.rate * clock_step)
 
-    def _recompute_rates(self) -> None:
-        # Count active transfers per link, then give each transfer the
-        # bottleneck of its equal shares.
-        loads: Dict[frozenset, int] = {}
-        for transfer in self._active:
-            for link in transfer.links:
-                loads[link.ends] = loads.get(link.ends, 0) + 1
-        for transfer in self._active:
-            transfer.rate = min(
-                link.bandwidth_bps / loads[link.ends] for link in transfer.links)
-        t = self.env.telemetry
-        if t is not None and not self._collector_registered:
-            # Gauges only ever expose their latest value, so recording on
-            # every recomputation would be pure overhead: register a
-            # collect-time reader instead (runs once per export).
-            self._collector_registered = True
-            t.collectors.append(lambda: self._record_link_utilization(t))
+    # -- rate maintenance ---------------------------------------------------
+
+    def _rates_full(self) -> Dict[_ActiveTransfer, float]:
+        """Every active transfer's fair-share rate, computed from scratch.
+
+        The ground truth the incremental engine must agree with at all
+        times; used directly by the equivalence tests.
+        """
+        by_link = self._by_link
+        return {
+            transfer: min(link.bandwidth_bps / len(by_link[link.ends])
+                          for link in transfer.links)
+            for transfer in self._active
+        }
+
+    def _apply_rates(self, candidates: Iterable[_ActiveTransfer]) -> None:
+        """Re-rate ``candidates``; settle a transfer only when its rate
+        actually changes (progress is linear between rate changes, so
+        nothing else needs bookkeeping)."""
+        now = self.env.now
+        by_link = self._by_link
+        for transfer in candidates:
+            rate = min(link.bandwidth_bps / len(by_link[link.ends])
+                       for link in transfer.links)
+            if rate == transfer.rate:
+                continue
+            elapsed = now - transfer.stats.end_time
+            if elapsed:
+                transfer.remaining -= transfer.rate * elapsed
+            transfer.stats.end_time = now
+            transfer.rate = rate
+            self._push_projection(transfer)
+
+    def _recompute_rates_affected(self, touched: Iterable[frozenset]) -> None:
+        """Re-rate only the transfers crossing a touched link.
+
+        Under equal sharing a transfer's rate is min(bandwidth/occupancy)
+        over its own links, so occupancy changes on ``touched`` links
+        cannot propagate further: the direct link-sharers *are* the whole
+        contention component of the event.
+        """
+        candidates: Dict[_ActiveTransfer, None] = {}
+        for ends in touched:
+            state = self._by_link.get(ends)
+            if state:
+                for transfer in state:
+                    candidates[transfer] = None
+        self._apply_rates(candidates)
+
+    def _recompute_rates_full(self) -> None:
+        """Reference model: re-rate every active transfer (global sweep)."""
+        self._apply_rates(self._active)
+
+    # -- wake timer ---------------------------------------------------------
+
+    def _push_projection(self, transfer: _ActiveTransfer) -> None:
+        transfer.version += 1
+        finish = transfer.stats.end_time + transfer.remaining / transfer.rate
+        self._heap_seq += 1
+        heapq.heappush(self._finish_heap,
+                       (finish, self._heap_seq, transfer.version, transfer))
+
+    def _live_head(self):
+        """The earliest valid heap entry, dropping stale ones on the way."""
+        heap = self._finish_heap
+        while heap:
+            entry = heap[0]
+            if entry[3].version != entry[2]:
+                heapq.heappop(heap)
+            else:
+                return entry
+        return None
+
+    def _arm_timer(self) -> None:
+        """Point the persistent timer at the earliest projected finish."""
+        head = self._live_head()
+        timer = self._timer
+        pending = (timer is not None and not timer.processed
+                   and not timer.cancelled)
+        if head is None:
+            if pending:
+                timer.cancel()
+            self._timer = None
+            return
+        delay = head[0] - self.env.now
+        if delay < 0.0:
+            delay = 0.0
+        if pending:
+            if timer.when == self.env.now + delay:
+                return
+            timer.reschedule(delay)
+            return
+        timer = self.env.timeout(delay)
+        timer.callbacks.append(self._on_wake)
+        self._timer = timer
+
+    def _on_wake(self, event: Event) -> None:
+        if event is not self._timer:
+            return  # a replaced timer that fired before it could die
+        self._timer = None
+        now = self.env.now
+        # The timer's fire time is recomputed through now-relative deltas,
+        # so it can land a few ulps shy of the heap's projection; the slack
+        # mirrors the clock step in _finish_tolerance.
+        horizon = now + max(1e-9, 4 * math.ulp(now))
+        finished = []
+        while True:
+            head = self._live_head()
+            if head is None or head[0] > horizon:
+                break
+            heapq.heappop(self._finish_heap)
+            transfer = head[3]
+            elapsed = now - transfer.stats.end_time
+            if elapsed:
+                transfer.remaining -= transfer.rate * elapsed
+                transfer.stats.end_time = now
+            if transfer.remaining <= self._finish_tolerance(transfer, now):
+                finished.append(transfer)
+            else:
+                # Projection overshot by more than the tolerance (clock
+                # rounding): keep streaming, re-project.
+                self._push_projection(transfer)
+        if finished:
+            touched = {}
+            for transfer in finished:
+                self._remove(transfer)
+                for link in transfer.links:
+                    touched[link.ends] = None
+                self._finish(transfer.stats, transfer.done, transfer.span)
+            if self.incremental:
+                self._recompute_rates_affected(touched)
+            else:
+                self._recompute_rates_full()
+        self._arm_timer()
+
+    def _remove(self, transfer: _ActiveTransfer) -> None:
+        del self._active[transfer]
+        transfer.version += 1  # invalidate any heap projections
+        for link in transfer.links:
+            state = self._by_link[link.ends]
+            del state[transfer]
+            if not state:
+                del self._by_link[link.ends]
+
+    # -- telemetry ----------------------------------------------------------
 
     def _record_link_utilization(self, telemetry) -> None:
         """Gauge the in-use fraction of every link busy right now.
 
         Runs at export time (a telemetry collector, not the transfer hot
-        path). Links that went idle are reset to 0 so the export reflects
-        the current instant, not the last busy one.
+        path), reading the per-link index so only busy links are visited.
+        Links that went idle are reset to 0 so the export reflects the
+        current instant, not the last busy one.
         """
-        used: Dict[frozenset, float] = {}
-        capacity: Dict[frozenset, float] = {}
-        for transfer in self._active:
-            for link in transfer.links:
-                used[link.ends] = used.get(link.ends, 0.0) + transfer.rate
-                capacity[link.ends] = link.bandwidth_bps
         gauges = self._link_gauges
-        for ends, rate in used.items():
+        busy = self._by_link
+        for ends, state in busy.items():
+            used = 0.0
+            capacity = 1.0
+            for transfer, link in state.items():
+                used += transfer.rate
+                capacity = link.bandwidth_bps
             series = gauges.get(ends)
             if series is None:
                 series = telemetry.net_link_utilization.labels(
                     link="--".join(sorted(ends)))
                 gauges[ends] = series
-            series.set(rate / capacity[ends])
+            series.set(used / capacity)
         for ends, series in gauges.items():
-            if ends not in used and series.value != 0.0:
+            if ends not in busy and series.value != 0.0:
                 series.set(0.0)
-
-    def _schedule_wake(self) -> None:
-        """Arrange to wake at the next transfer completion."""
-        self._wake_generation += 1
-        if not self._active:
-            return
-        next_finish = min(t.remaining / t.rate for t in self._active)
-        self.env.process(self._wake(next_finish, self._wake_generation))
-
-    def _wake(self, delay: float, generation: int):
-        yield self.env.timeout(delay)
-        if generation != self._wake_generation:
-            return  # superseded by a later start/finish
-        self._settle_progress()
-        self._recompute_rates()
-        self._schedule_wake()

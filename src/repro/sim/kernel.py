@@ -113,9 +113,20 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` units of virtual time in the future."""
+    """An event that triggers ``delay`` units of virtual time in the future.
 
-    __slots__ = ("delay",)
+    A timeout can be :meth:`cancel`\\ led or :meth:`reschedule`\\ d while it
+    is still pending. Both are lazy: the superseded heap entry stays in the
+    queue but is recognized as stale (its scheduled time no longer matches
+    :attr:`when`) and discarded without running callbacks or advancing the
+    clock. This is what lets a service keep one persistent timer and move
+    it around instead of spawning a throwaway process per change.
+
+    Only cancel or reschedule timeouts that no process is waiting on: a
+    process suspended on a cancelled timeout is never resumed.
+    """
+
+    __slots__ = ("delay", "_when")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -124,7 +135,33 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
+        self._when = env._now + delay
         env._schedule(self, delay=delay)
+
+    @property
+    def when(self) -> Optional[float]:
+        """Virtual time this timeout fires at, or ``None`` once cancelled."""
+        return self._when
+
+    @property
+    def cancelled(self) -> bool:
+        return self._when is None
+
+    def cancel(self) -> None:
+        """Prevent the timeout from firing; its heap entry dies lazily."""
+        if self.processed:
+            raise SimError("cannot cancel an already-processed timeout")
+        self._when = None
+
+    def reschedule(self, delay: float) -> None:
+        """Move a pending timeout to ``delay`` seconds from now."""
+        if self.processed:
+            raise SimError("cannot reschedule an already-processed timeout")
+        if delay < 0:
+            raise SimError(f"negative timeout delay: {delay!r}")
+        self.delay = delay
+        self._when = self.env._now + delay
+        self.env._schedule(self, delay=delay)
 
 
 class Initialize(Event):
@@ -286,6 +323,13 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # The condition already resolved without this child (e.g. an
+            # any_of raced it). Nobody will ever inspect the child's
+            # outcome now, so a late failure must be marked handled here —
+            # otherwise an unrelated later step() re-raises it as an
+            # un-waited failure.
+            if not event._ok:
+                event.defused = True
             return
         self._done += 1
         if not event._ok:
@@ -367,12 +411,27 @@ class Environment:
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
         self._eid += 1
 
+    def _skip_stale(self) -> None:
+        """Drop stale heap entries (cancelled/rescheduled timeouts) from the
+        head of the queue without running callbacks or advancing the clock."""
+        queue = self._queue
+        while queue:
+            time, _, _, event = queue[0]
+            if event.callbacks is None or getattr(event, "_when", time) != time:
+                # Already processed (a reschedule duplicate), or a timeout
+                # whose valid fire time moved away from this entry.
+                heapq.heappop(queue)
+            else:
+                return
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next live scheduled event, or ``inf`` if none."""
+        self._skip_stale()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next live event."""
+        self._skip_stale()
         if not self._queue:
             raise SimStopped("no more events")
         self._now, _, _, event = heapq.heappop(self._queue)
@@ -392,11 +451,14 @@ class Environment:
         if until is not None:
             if until < self._now:
                 raise SimError(f"until={until} is in the past (now={self._now})")
-            while self._queue and self._queue[0][0] <= until:
+            while self.peek() <= until:
                 self.step()
             self._now = float(until)
             return
         while self._queue:
+            self._skip_stale()
+            if not self._queue:
+                break
             self.step()
 
     def run_process(self, generator: Generator) -> Any:

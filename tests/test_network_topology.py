@@ -92,3 +92,42 @@ def test_full_mesh_builder():
     topo = Topology.full_mesh(["A", "B", "C"], 0.01, MB)
     assert len(topo.links) == 3
     assert len(topo.route("A", "C")) == 1
+
+
+def test_version_bumps_on_connect_only():
+    topo = Topology()
+    assert topo.version == 0
+    topo.add_domain("A")
+    assert topo.version == 0
+    topo.connect("A", "B", 0.01, MB)
+    assert topo.version == 1
+    topo.connect("A", "B", 0.01, 2 * MB)  # replacement bumps too
+    assert topo.version == 2
+
+
+def test_route_cache_returns_equal_paths():
+    topo = triangle()
+    first = topo.route("A", "C")
+    second = topo.route("A", "C")
+    assert first == second
+    # Callers own their copy: mutating one result must not poison the cache.
+    first.clear()
+    assert topo.route("A", "C") == second
+
+
+def test_route_cache_invalidated_by_connect():
+    topo = triangle()
+    assert len(topo.route("A", "C")) == 2  # via B, cached
+    # A new fast direct link must displace the cached two-hop route.
+    topo.connect("A", "C", 0.001, 100 * MB)
+    path = topo.route("A", "C")
+    assert len(path) == 1
+    assert path[0].latency_s == 0.001
+
+
+def test_route_cache_sees_replaced_link_attributes():
+    topo = Topology()
+    topo.connect("A", "B", 0.01, MB)
+    assert topo.route("A", "B")[0].bandwidth_bps == MB
+    topo.connect("A", "B", 0.01, 7 * MB)
+    assert topo.route("A", "B")[0].bandwidth_bps == 7 * MB

@@ -1,5 +1,7 @@
 """Unit tests for contention-aware transfers."""
 
+import random
+
 import pytest
 
 from repro.network import Topology, TransferService
@@ -140,3 +142,145 @@ def test_effective_bandwidth_reported():
 
     stats = env.run_process(run())
     assert stats.effective_bandwidth_bps == pytest.approx(10 * MB, rel=1e-6)
+
+
+def test_connect_mid_simulation_reroutes_new_transfers():
+    # The route cache must notice a link replacement between transfers:
+    # the first transfer sees the slow link, the second the fast one.
+    topo = Topology()
+    topo.connect("A", "B", 0.0, 10 * MB)
+    env = Environment()
+    svc = TransferService(env, topo)
+
+    def run():
+        first = yield svc.transfer("A", "B", 100 * MB)
+        topo.connect("A", "B", 0.0, 100 * MB)  # upgrade mid-simulation
+        second = yield svc.transfer("A", "B", 100 * MB)
+        return first, second
+
+    first, second = env.run_process(run())
+    assert first.duration == pytest.approx(10.0, rel=1e-6)
+    assert second.duration == pytest.approx(1.0, rel=1e-6)
+
+
+def test_in_flight_transfer_keeps_its_link_after_replacement():
+    # A streaming transfer holds the Link objects it was routed over;
+    # replacing the link only affects transfers started afterwards.
+    topo = Topology()
+    topo.connect("A", "B", 0.0, 10 * MB)
+    env = Environment()
+    svc = TransferService(env, topo)
+
+    def run():
+        done = svc.transfer("A", "B", 100 * MB)
+        yield env.timeout(1.0)
+        topo.connect("A", "B", 0.0, 100 * MB)
+        stats = yield done
+        return stats
+
+    stats = env.run_process(run())
+    assert stats.duration == pytest.approx(10.0, rel=1e-6)
+
+
+def test_link_utilization_reads_per_link_index():
+    topo = Topology()
+    link_ab = topo.connect("A", "B", 0.0, 10 * MB)
+    link_cd = topo.connect("C", "D", 0.0, 10 * MB)
+    env = Environment()
+    svc = TransferService(env, topo)
+
+    def run():
+        t1 = svc.transfer("A", "B", 100 * MB)
+        t2 = svc.transfer("A", "B", 100 * MB)
+        t3 = svc.transfer("C", "D", 100 * MB)
+        yield env.timeout(1.0)
+        shared = svc.link_utilization(link_ab)
+        alone = svc.link_utilization(link_cd)
+        yield env.all_of([t1, t2, t3])
+        return shared, alone
+
+    shared, alone = env.run_process(run())
+    assert shared == pytest.approx(1.0)  # two transfers saturate the link
+    assert alone == pytest.approx(1.0)
+    assert svc.link_utilization(link_ab) == 0.0  # idle again; index empty
+    assert svc._by_link == {}
+
+
+def test_active_set_bookkeeping_is_consistent():
+    env = Environment()
+    svc = TransferService(env, simple_topology())
+
+    def run():
+        events = [svc.transfer("A", "B", 10 * MB) for _ in range(5)]
+        yield env.timeout(0.1)
+        mid = svc.active_count
+        yield env.all_of(events)
+        return mid
+
+    mid = env.run_process(run())
+    assert mid == 5
+    assert svc.active_count == 0
+    assert svc._finish_heap == [] or all(
+        entry[3].version != entry[2] for entry in svc._finish_heap)
+    assert svc._timer is None
+
+
+# -- incremental vs reference equivalence -----------------------------------
+
+
+def random_scenario(rng):
+    """A random connected topology plus a randomized transfer schedule."""
+    domains = [f"d{index}" for index in range(10)]
+    spec = []
+    for index in range(1, len(domains)):
+        spec.append((domains[rng.randrange(index)], domains[index],
+                     rng.uniform(0.001, 0.02), rng.choice([10, 25, 100]) * MB))
+    for _ in range(6):
+        a, b = rng.sample(domains, 2)
+        spec.append((a, b, rng.uniform(0.001, 0.02),
+                     rng.choice([10, 25, 100]) * MB))
+    plan = sorted((rng.uniform(0.0, 5.0), *rng.sample(domains, 2),
+                   rng.uniform(1.0, 80.0) * MB) for _ in range(60))
+    return spec, plan
+
+
+def run_scenario(spec, plan, incremental, check_rates=False):
+    env = Environment()
+    topo = Topology()
+    for a, b, latency, bandwidth in spec:
+        topo.connect(a, b, latency, bandwidth)
+    svc = TransferService(env, topo, incremental=incremental)
+
+    def starter():
+        events = []
+        for at, src, dst, nbytes in plan:
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            events.append(svc.transfer(src, dst, nbytes))
+        yield env.all_of(events)
+
+    proc = env.process(starter())
+    while proc.is_alive:
+        env.run(until=env.now + 0.31)
+        if check_rates:
+            # The affected-set engine must agree with a from-scratch
+            # global recomputation at every instant, exactly.
+            for transfer, expected in svc._rates_full().items():
+                assert transfer.rate == expected
+            # ... equivalently, the reference recompute must be a no-op.
+            before = {t: t.rate for t in svc._active}
+            svc._recompute_rates_full()
+            assert {t: t.rate for t in svc._active} == before
+    env.run()
+    return sorted((s.src, s.dst, s.nbytes, s.start_time, s.end_time)
+                  for s in svc.completed)
+
+
+def test_affected_set_rates_match_full_recompute_randomized():
+    rng = random.Random(0xDA7A)
+    for _ in range(3):
+        spec, plan = random_scenario(rng)
+        incremental = run_scenario(spec, plan, True, check_rates=True)
+        reference = run_scenario(spec, plan, False)
+        # Completion times are bit-identical, not merely approximate.
+        assert incremental == reference

@@ -283,6 +283,123 @@ def test_peek_reports_next_event_time():
     assert env.peek() == 7.0
 
 
+def test_any_of_defuses_failure_racing_a_win():
+    # A child that fails *after* the any_of already triggered is nobody's
+    # responsibility; the condition must defuse it so a later step() does
+    # not re-raise it as an un-waited failure.
+    env = Environment()
+
+    def winner():
+        yield env.timeout(1.0)
+        return "won"
+
+    def loser():
+        yield env.timeout(2.0)
+        raise RuntimeError("late failure")
+
+    def waiter():
+        results = yield env.any_of([env.process(winner()),
+                                    env.process(loser())])
+        return list(results.values())
+
+    proc = env.process(waiter())
+    env.run()  # must not raise the loser's RuntimeError at t=2
+    assert proc.value == ["won"]
+
+
+def test_all_of_defuses_second_failure_after_first():
+    env = Environment()
+
+    def failer(delay, message):
+        yield env.timeout(delay)
+        raise RuntimeError(message)
+
+    def waiter():
+        try:
+            yield env.all_of([env.process(failer(1.0, "first")),
+                              env.process(failer(2.0, "second"))])
+        except RuntimeError as exc:
+            return str(exc)
+
+    proc = env.process(waiter())
+    env.run()  # the second failure must not surface at t=2
+    assert proc.value == "first"
+
+
+def test_cancelled_timeout_never_fires_nor_advances_clock():
+    env = Environment()
+    fired = []
+    late = env.timeout(100.0)
+    late.callbacks.append(lambda event: fired.append(env.now))
+
+    def proc():
+        yield env.timeout(5.0)
+
+    env.process(proc())
+    late.cancel()
+    assert late.cancelled
+    env.run()
+    assert fired == []
+    # The stale heap entry must not drag the clock out to t=100.
+    assert env.now == 5.0
+
+
+def test_rescheduled_timeout_fires_once_at_new_time():
+    env = Environment()
+    fired = []
+    timer = env.timeout(10.0)
+    timer.callbacks.append(lambda event: fired.append(env.now))
+    timer.reschedule(3.0)
+    assert timer.when == 3.0
+    env.run()
+    assert fired == [3.0]
+    assert env.now == 3.0
+
+
+def test_reschedule_can_move_a_timeout_later():
+    env = Environment()
+    fired = []
+    timer = env.timeout(1.0)
+    timer.callbacks.append(lambda event: fired.append(env.now))
+    timer.reschedule(6.0)
+    env.run()
+    assert fired == [6.0]
+
+
+def test_cancel_or_reschedule_after_processing_rejected():
+    env = Environment()
+    timer = env.timeout(1.0)
+    env.run()
+    with pytest.raises(SimError):
+        timer.cancel()
+    with pytest.raises(SimError):
+        timer.reschedule(1.0)
+
+
+def test_peek_skips_cancelled_timeouts():
+    env = Environment()
+    soon = env.timeout(1.0)
+    env.timeout(4.0)
+    soon.cancel()
+    assert env.peek() == 4.0
+
+
+def test_run_until_ignores_stale_entries_beyond_horizon():
+    env = Environment()
+    fired = []
+    stale = env.timeout(1.0)
+    later = env.timeout(10.0)
+    later.callbacks.append(lambda event: fired.append(env.now))
+    stale.cancel()
+    # The stale head at t=1 must not trick run(until=5) into processing
+    # the t=10 event early.
+    env.run(until=5.0)
+    assert fired == []
+    assert env.now == 5.0
+    env.run()
+    assert fired == [10.0]
+
+
 def test_kernel_events_have_no_instance_dict():
     # The kernel classes declare __slots__ (events are allocated millions of
     # times in the scale benchmarks); a __dict__ creeping back in would undo
