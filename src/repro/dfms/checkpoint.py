@@ -55,12 +55,16 @@ def checkpoint_execution(server: DfMSServer, request_id: str) -> dict:
     }
 
 
-def restore_execution(server: DfMSServer, snapshot: dict) -> FlowExecution:
+def restore_execution(server: DfMSServer, snapshot: dict,
+                      replace: bool = False) -> FlowExecution:
     """Recreate and restart an execution from a checkpoint snapshot.
 
     The restored execution keeps its original request identifier, so status
     queries issued against the old identifier keep working on the new
-    server instance.
+    server instance. ``replace=True`` permits restoring onto a server
+    that still holds the (terminal) original — the automatic
+    checkpoint/restart path of
+    :class:`repro.faults.recovery.FlowSupervisor`.
     """
     if snapshot.get("format") != FORMAT_VERSION:
         raise CheckpointError(
@@ -84,7 +88,7 @@ def restore_execution(server: DfMSServer, snapshot: dict) -> FlowExecution:
             effects=[(name, value) for name, value in entry["effects"]],
             finished_at=entry["finished_at"])
     execution.replaying = True
-    server.adopt_execution(execution, request)
+    server.adopt_execution(execution, request, replace=replace)
     user = server.dgms.users.get(request.user)
     ctx = ExecutionContext(env=server.env, dgms=server.dgms, user=user,
                            scope=Scope(), execution=execution, server=server)

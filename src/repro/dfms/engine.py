@@ -147,7 +147,8 @@ class FlowEngine:
             execution.finish(ExecutionState.CANCELLED)
             self._notify("execution_cancelled", execution, "")
         except Exception as exc:
-            execution.finish(ExecutionState.FAILED, error=str(exc))
+            execution.finish(ExecutionState.FAILED, error=str(exc),
+                             failure=exc)
             self._notify("execution_failed", execution, "", error=str(exc))
         else:
             execution.finish(ExecutionState.COMPLETED)

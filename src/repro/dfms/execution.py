@@ -54,6 +54,11 @@ class FlowExecution:
         self.status = build_status_tree(flow)
         self.state = ExecutionState.PENDING
         self.error: Optional[str] = None
+        #: The exception object behind a FAILED state (``error`` keeps the
+        #: string for status documents). Recovery supervisors dispatch on
+        #: its type — :class:`repro.errors.Retryable` or not — never on
+        #: the message text.
+        self.failure: Optional[BaseException] = None
         self.submitted_at = env.now
         self.finished_at: Optional[float] = None
         self.messages: List[Tuple[float, str]] = []
@@ -117,10 +122,12 @@ class FlowExecution:
 
     # -- completion -----------------------------------------------------------
 
-    def finish(self, state: ExecutionState, error: Optional[str] = None) -> None:
+    def finish(self, state: ExecutionState, error: Optional[str] = None,
+               failure: Optional[BaseException] = None) -> None:
         """Record the terminal state and trigger :attr:`done`."""
         self.state = state
         self.error = error
+        self.failure = failure
         self.finished_at = self.env.now
         if not self.done.triggered:
             self.done.succeed(self)

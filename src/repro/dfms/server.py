@@ -284,10 +284,20 @@ class DfMSServer:
         return list(self._executions.values())
 
     def adopt_execution(self, execution: FlowExecution,
-                        request: DataGridRequest) -> None:
-        """Register a restored execution (checkpoint recovery path)."""
-        if execution.request_id in self._executions:
-            raise DfMSError(
-                f"request {execution.request_id!r} already registered")
+                        request: DataGridRequest,
+                        replace: bool = False) -> None:
+        """Register a restored execution (checkpoint recovery path).
+
+        ``replace=True`` lets a recovery supervisor restart a *terminal*
+        (typically FAILED) execution in place: the identifier keeps
+        resolving, now to the restarted attempt. Replacing a live
+        execution is still refused — two engines would race on one
+        request id.
+        """
+        existing = self._executions.get(execution.request_id)
+        if existing is not None:
+            if not (replace and existing.state.is_terminal):
+                raise DfMSError(
+                    f"request {execution.request_id!r} already registered")
         self._executions[execution.request_id] = execution
         self._requests[execution.request_id] = request

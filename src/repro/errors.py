@@ -12,6 +12,18 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
+class Retryable:
+    """Marker mixin: the failure is transient and retrying may succeed.
+
+    Recovery policies (:mod:`repro.faults.recovery`) dispatch on this type
+    — never on message strings — to decide whether an operation is worth
+    retrying, failing over, or restarting from a checkpoint. Classify an
+    error as retryable only when the underlying condition can clear on its
+    own (an outage ends, a flaky window passes, a link comes back); logic
+    errors, validation errors, and permission errors must not carry it.
+    """
+
+
 # --------------------------------------------------------------------------
 # Simulation kernel
 # --------------------------------------------------------------------------
@@ -49,16 +61,42 @@ class CapacityExceeded(StorageError):
     """An allocation would exceed the storage resource's capacity."""
 
 
-class StorageFailure(StorageError):
+class StorageFailure(StorageError, Retryable):
     """An injected (simulated) storage fault hit this operation."""
 
 
-class NetworkError(ReproError):
-    """Error raised by the simulated inter-domain network."""
+class ResourceOffline(StorageError, Retryable):
+    """The storage resource is down (an outage window is open)."""
+
+
+class NetworkError(ReproError, Retryable):
+    """Error raised by the simulated inter-domain network.
+
+    Network conditions in a datagrid are churn by definition — links drop
+    and come back, routes reappear — so the whole branch is
+    :class:`Retryable`.
+    """
 
 
 class NoRouteError(NetworkError):
     """No path exists between the requested domains."""
+
+
+class TransferInterrupted(NetworkError):
+    """A link carrying this transfer dropped mid-flight.
+
+    Carries the progress made before the drop so recovery can resume from
+    the byte offset instead of re-sending the whole object.
+    """
+
+    def __init__(self, message: str, src: str = "", dst: str = "",
+                 nbytes: float = 0.0, transferred: float = 0.0) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        #: Bytes that arrived before the interruption (the resume offset).
+        self.transferred = transferred
 
 
 # --------------------------------------------------------------------------
@@ -175,3 +213,12 @@ class TriggerError(ReproError):
 
 class ProvenanceError(ReproError):
     """Error writing to or querying the provenance store."""
+
+
+# --------------------------------------------------------------------------
+# Faults & recovery
+# --------------------------------------------------------------------------
+
+
+class FaultError(ReproError):
+    """A fault schedule or recovery policy is malformed or misapplied."""

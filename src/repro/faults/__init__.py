@@ -1,0 +1,48 @@
+"""Faults & recovery: failure domains, retry/failover policies, chaos.
+
+Two halves, deliberately separable:
+
+* :mod:`repro.faults.model` — declarative, seeded fault schedules
+  (storage / domain / link outages, bandwidth degradations, flaky
+  windows) armed as kernel timeouts by a :class:`FaultDriver`.
+* :mod:`repro.faults.recovery` — :class:`RetryPolicy` backoff,
+  alternate-replica failover and transfer resume via
+  :class:`RecoveryService`, and checkpoint/restart supervision of flow
+  executions via :class:`FlowSupervisor`.
+
+Attaching neither leaves the simulation bit-identical to a build without
+this package; the chaos harness in :mod:`repro.workloads.chaos` runs both
+against randomized schedules and checks the survival invariants.
+"""
+
+from repro.faults.model import (
+    DomainOutage,
+    FaultDriver,
+    FaultSchedule,
+    FlakyWindow,
+    LinkDegradation,
+    LinkOutage,
+    StorageOutage,
+    attach_faults,
+)
+from repro.faults.recovery import (
+    FlowSupervisor,
+    RecoveryService,
+    RetryPolicy,
+    attach_recovery,
+)
+
+__all__ = [
+    "DomainOutage",
+    "FaultDriver",
+    "FaultSchedule",
+    "FlakyWindow",
+    "FlowSupervisor",
+    "LinkDegradation",
+    "LinkOutage",
+    "RecoveryService",
+    "RetryPolicy",
+    "StorageOutage",
+    "attach_faults",
+    "attach_recovery",
+]

@@ -23,7 +23,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import GridError, NamespaceError, ReplicaError
+from repro.errors import GridError, NamespaceError, ReplicaError, Retryable
 from repro.grid.acl import Permission
 from repro.grid.domains import DomainRegistry, DomainRole
 from repro.grid.events import EventBus, EventKind, EventPhase, NamespaceEvent
@@ -75,6 +75,11 @@ class DataGridManagementSystem:
         self.events = EventBus()
         #: Provenance listeners; each receives every OperationRecord.
         self.operation_listeners: List[Callable[[OperationRecord], None]] = []
+        #: Recovery service (duck-typed; see
+        #: :func:`repro.faults.recovery.attach_recovery`). ``None`` means
+        #: every operation takes its original, fail-fast code path —
+        #: keeping this module import-free of the faults package.
+        self.recovery = None
         # Per-device I/O channel pools (for resources with a channel limit).
         self._io_slots: Dict[str, "Resource"] = {}
 
@@ -130,6 +135,20 @@ class DataGridManagementSystem:
 
     def _registered(self, replica: Replica) -> RegisteredResource:
         return self.resources.physical(replica.physical_name)
+
+    def _wan(self, src: str, dst: str, nbytes: float):
+        """Generator: one WAN leg, resumable when recovery is attached.
+
+        Without a recovery service this is exactly the original
+        ``yield transfer(...)`` (bit-identical timing); with one, an
+        interrupted transfer resumes from its byte offset and a missing
+        route backs off until routing recovers.
+        """
+        if self.recovery is None:
+            yield self.transfers.transfer(src, dst, nbytes)
+        else:
+            yield from self.recovery.run_transfer(
+                self.transfers, src, dst, nbytes)
 
     def _timed_io(self, physical: PhysicalStorageResource, duration: float):
         """Generator: one I/O of ``duration`` honoring the device's
@@ -266,7 +285,7 @@ class DataGridManagementSystem:
                    size=size, resource=logical_resource)
         start = self.env.now
         if source_domain is not None:
-            yield self.transfers.transfer(source_domain, member.domain, size)
+            yield from self._wan(source_domain, member.domain, size)
         obj = self.namespace.create_object(path, size, user, self.env.now)
         replica = Replica(obj.guid, logical_resource, member.domain,
                           member.name, self.env.now,
@@ -301,11 +320,22 @@ class DataGridManagementSystem:
         return self._spawn(self._get(user, path, to_domain, replica_policy))
 
     def select_replica(self, obj: DataObject, to_domain: str,
-                       policy: str = "nearest") -> Replica:
-        """Pick the source replica for a read to ``to_domain``."""
+                       policy: str = "nearest",
+                       exclude: Optional[set] = None) -> Replica:
+        """Pick the source replica for a read to ``to_domain``.
+
+        ``exclude`` is a set of replica numbers already tried and failed
+        this operation (the failover path); they are skipped so the next
+        attempt goes to an alternate replica.
+        """
         replicas = obj.good_replicas()
+        if exclude:
+            replicas = [r for r in replicas
+                        if r.replica_number not in exclude]
         if not replicas:
-            raise ReplicaError(f"{obj.path} has no good replicas")
+            raise ReplicaError(
+                f"{obj.path} has no good replicas"
+                + (" left to try" if exclude else ""))
         if policy == "fixed":
             return min(replicas, key=lambda r: r.replica_number)
         if policy == "nearest":
@@ -317,16 +347,61 @@ class DataGridManagementSystem:
     def _get(self, user, path, to_domain, replica_policy):
         obj = self.namespace.resolve_object(path)
         obj.acl.require(user, Permission.READ, path)
-        replica = self.select_replica(obj, to_domain, replica_policy)
         start = self.env.now
-        registered = self._registered(replica)
-        duration = registered.physical.read(replica.allocation_id)
-        yield from self._timed_io(registered.physical, duration)
-        yield self.transfers.transfer(replica.domain, to_domain, obj.size)
+        if self.recovery is None:
+            replica = self.select_replica(obj, to_domain, replica_policy)
+            registered = self._registered(replica)
+            duration = registered.physical.read(replica.allocation_id)
+            yield from self._timed_io(registered.physical, duration)
+            yield self.transfers.transfer(replica.domain, to_domain,
+                                          obj.size)
+        else:
+            replica = yield from self._get_resilient(
+                obj, to_domain, replica_policy)
         self._record("get", user, path, start, size=obj.size,
                      source_domain=replica.domain, to_domain=to_domain,
                      physical=replica.physical_name)
         return obj
+
+    def _get_resilient(self, obj, to_domain, replica_policy):
+        """Failover read: replicas are tried in policy order; a replica
+        whose read or transfer fails with a retryable error is excluded
+        and the next-best one is tried. When every replica has failed,
+        the round resets after a policy backoff (an outage may have
+        ended by then). Non-retryable errors propagate immediately, and
+        an object with no good replicas at all still raises."""
+        recovery = self.recovery
+        excluded: set = set()
+        rounds = 0
+        while True:
+            try:
+                replica = self.select_replica(obj, to_domain,
+                                              replica_policy,
+                                              exclude=excluded)
+            except ReplicaError:
+                if not excluded:
+                    raise   # genuinely nothing to read, not a fault
+                rounds += 1
+                if rounds >= recovery.policy.max_attempts:
+                    raise
+                yield from recovery.backoff(rounds, operation="get",
+                                            path=obj.path)
+                excluded.clear()
+                continue
+            try:
+                registered = self._registered(replica)
+                duration = registered.physical.read(replica.allocation_id)
+                yield from self._timed_io(registered.physical, duration)
+                yield from recovery.run_transfer(
+                    self.transfers, replica.domain, to_domain, obj.size)
+                return replica
+            except Exception as exc:
+                if not isinstance(exc, Retryable):
+                    raise
+                excluded.add(replica.replica_number)
+                recovery.note("failover", path=obj.path,
+                              replica=replica.physical_name,
+                              error=type(exc).__name__)
 
     def replicate(self, user: User, path: str, to_logical_resource: str,
                   replica_policy: str = "nearest") -> Process:
@@ -349,7 +424,7 @@ class DataGridManagementSystem:
         yield from self._timed_io(
             source_registered.physical,
             source_registered.physical.read(source.allocation_id))
-        yield self.transfers.transfer(source.domain, target.domain, obj.size)
+        yield from self._wan(source.domain, target.domain, obj.size)
         replica = Replica(obj.guid, to_logical_resource, target.domain,
                           target.name, self.env.now,
                           replica_number=self.namespace.next_replica_number())
@@ -383,7 +458,7 @@ class DataGridManagementSystem:
         yield from self._timed_io(
             source_registered.physical,
             source_registered.physical.read(source.allocation_id))
-        yield self.transfers.transfer(source.domain, target.domain, obj.size)
+        yield from self._wan(source.domain, target.domain, obj.size)
         replica = Replica(obj.guid, to_logical_resource, target.domain,
                           target.name, self.env.now,
                           replica_number=self.namespace.next_replica_number())

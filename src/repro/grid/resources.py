@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.errors import LogicalResourceError
+from repro.errors import LogicalResourceError, ResourceOffline
 from repro.storage.resource import PhysicalStorageResource
 
 __all__ = ["RegisteredResource", "LogicalResource", "ResourceRegistry"]
@@ -62,10 +62,19 @@ class LogicalResource:
                 f"{physical_name!r} is not a member of {self.name!r}")
 
     def select_for_write(self, nbytes: float) -> RegisteredResource:
-        """Choose the online member with the most free space that fits."""
+        """Choose the online member with the most free space that fits.
+
+        An all-members-offline pool raises the *retryable*
+        :class:`~repro.errors.ResourceOffline` (an outage ends); capacity
+        exhaustion stays a durable :class:`LogicalResourceError`.
+        """
         candidates = [m for m in self._members
                       if m.physical.online and m.physical.free_bytes >= nbytes]
         if not candidates:
+            if self._members and not any(m.physical.online
+                                         for m in self._members):
+                raise ResourceOffline(
+                    f"every member of {self.name!r} is offline")
             raise LogicalResourceError(
                 f"no member of {self.name!r} can hold {nbytes:.0f} B")
         return max(candidates, key=lambda m: (m.physical.free_bytes, m.name))

@@ -100,10 +100,19 @@ class ILMManager:
                      request_id=response.request_id)
         return response.request_id
 
-    def run_pass_sync(self, policy_name: str, user: User):
-        """Generator: run one pass to completion; returns its status."""
+    def run_pass_sync(self, policy_name: str, user: User, supervisor=None):
+        """Generator: run one pass to completion; returns its status.
+
+        With a :class:`~repro.faults.recovery.FlowSupervisor`, a pass
+        that fails retryably is checkpoint-restarted (journalled objects
+        are skipped on replay) instead of reported failed — ILM passes
+        are exactly the months-long processes §2.1 wants restartable.
+        """
         request_id = self.run_pass(policy_name, user)
-        yield self.server.wait(request_id)
+        if supervisor is None:
+            yield self.server.wait(request_id)
+        else:
+            yield from supervisor.supervise(request_id)
         record = next(p for p in self.passes if p.request_id == request_id)
         record.finished_at = self.env.now
         status = self.server.status(request_id)

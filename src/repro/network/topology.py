@@ -107,6 +107,29 @@ class Topology:
         self._version += 1
         return link
 
+    def disconnect(self, a: str, b: str) -> Optional[Link]:
+        """Remove the direct link between ``a`` and ``b``, if any.
+
+        Returns the removed link (so an outage can restore it later with
+        its original parameters). Routing immediately stops using it:
+        subsequent :meth:`route` calls go around — or raise
+        :class:`~repro.errors.NoRouteError` if no alternative exists —
+        because the version bump invalidates every cached route.
+        """
+        ends = frozenset((a, b))
+        removed: Optional[Link] = None
+        for end in (a, b):
+            adjacency = self._adjacency.get(end)
+            if not adjacency:
+                continue
+            for link in adjacency:
+                if link.ends == ends:
+                    removed = link
+            self._adjacency[end] = [l for l in adjacency if l.ends != ends]
+        if removed is not None:
+            self._version += 1
+        return removed
+
     def link_between(self, a: str, b: str) -> Optional[Link]:
         """The direct link between ``a`` and ``b``, if one exists."""
         for link in self._adjacency.get(a, ()):

@@ -38,7 +38,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, TransferInterrupted
 from repro.network.topology import Link, Topology
 from repro.sim.kernel import Environment, Event, Timeout
 
@@ -124,6 +124,11 @@ class TransferService:
         self._timer: Optional[Timeout] = None
         self.total_bytes_moved = 0.0
         self.completed: List[TransferStats] = []
+        #: Link ends currently in a fault-injected outage. Maintained by a
+        #: :class:`~repro.faults.model.FaultDriver`; empty (and checked
+        #: with one falsy test) when no fault schedule is attached.
+        self.down_links: set = set()
+        self.interrupted_count = 0
         # Utilization gauge children by link ends (avoids re-resolving
         # label children on every rate recomputation).
         self._link_gauges: Dict[frozenset, object] = {}
@@ -188,6 +193,14 @@ class TransferService:
 
     def _admit_after_latency(self, latency, stats, links, done, span=None):
         yield self.env.timeout(latency)
+        if self.down_links:
+            # A link on the path went down while this transfer was still
+            # in its latency phase: it never streamed a byte.
+            for link in links:
+                if link.ends in self.down_links:
+                    self._interrupt(
+                        _ActiveTransfer(stats, links, done, span), link)
+                    return
         transfer = _ActiveTransfer(stats, links, done, span)
         # end_time doubles as "last settled" during streaming; start the
         # clock at admission, not at the original call instant.
@@ -220,6 +233,88 @@ class TransferService:
             # (Telemetry collect); the hot path only stashes it.
             t.net_pending.append(stats)
         done.succeed(stats)
+
+    def _interrupt(self, transfer: _ActiveTransfer, link: Link) -> None:
+        """Fail a (settled, already-removed) transfer's done event with a
+        resumable :class:`TransferInterrupted` carrying its byte offset."""
+        stats = transfer.stats
+        transferred = max(0.0, stats.nbytes - transfer.remaining)
+        self.interrupted_count += 1
+        if transferred and stats.hops:
+            # The bytes that made it across count as WAN movement; the
+            # resumed remainder accounts for the rest on completion.
+            self.total_bytes_moved += transferred
+        t = self.env.telemetry
+        if t is not None:
+            if transfer.span is not None:
+                t.tracer.finish(transfer.span, status="interrupted")
+            t.log.emit("net.interrupted", src=stats.src, dst=stats.dst,
+                       link="--".join(sorted(link.ends)),
+                       nbytes=stats.nbytes, transferred=transferred)
+        transfer.done.fail(TransferInterrupted(
+            f"link {link.a}--{link.b} dropped with "
+            f"{stats.nbytes - transferred:.0f} B left of "
+            f"{stats.src}->{stats.dst}",
+            src=stats.src, dst=stats.dst, nbytes=stats.nbytes,
+            transferred=transferred))
+
+    def fail_link(self, a: str, b: str) -> int:
+        """Interrupt every in-flight transfer crossing the ``a``–``b`` link.
+
+        Each victim's done event fails with :class:`TransferInterrupted`
+        carrying the bytes already moved, so callers can resume from that
+        offset. Survivors sharing other links with a victim are re-rated
+        (they just gained bandwidth). Returns the number of interruptions.
+        """
+        ends = frozenset((a, b))
+        state = self._by_link.get(ends)
+        if not state:
+            return 0
+        now = self.env.now
+        victims = list(state)
+        touched: Dict[frozenset, None] = {}
+        for transfer in victims:
+            elapsed = now - transfer.stats.end_time
+            if elapsed:
+                transfer.remaining -= transfer.rate * elapsed
+                transfer.stats.end_time = now
+            self._remove(transfer)
+            for link in transfer.links:
+                if link.ends != ends:
+                    touched[link.ends] = None
+        failed_link = next(l for t in victims for l in t.links
+                           if l.ends == ends)
+        for transfer in victims:
+            self._interrupt(transfer, failed_link)
+        if self.incremental:
+            self._recompute_rates_affected(touched)
+        else:
+            self._recompute_rates_full()
+        self._arm_timer()
+        return len(victims)
+
+    def replace_link(self, new_link: Link) -> int:
+        """Swap the link object in-flight transfers cross at ``new_link``'s
+        ends (a bandwidth degradation or restoration) and re-rate them.
+
+        The topology owns routing; this keeps the *streaming* state
+        consistent when a link's parameters change mid-transfer. Returns
+        the number of transfers re-pointed.
+        """
+        ends = new_link.ends
+        state = self._by_link.get(ends)
+        if not state:
+            return 0
+        for transfer in state:
+            transfer.links = [new_link if link.ends == ends else link
+                              for link in transfer.links]
+            state[transfer] = new_link
+        if self.incremental:
+            self._recompute_rates_affected((ends,))
+        else:
+            self._recompute_rates_full()
+        self._arm_timer()
+        return len(state)
 
     @staticmethod
     def _finish_tolerance(transfer: _ActiveTransfer, now: float) -> float:

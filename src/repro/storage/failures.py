@@ -10,11 +10,18 @@ tests can script exact failure points.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional, Set
+from typing import TYPE_CHECKING, Iterable, Optional, Set
 
 from repro.errors import StorageFailure
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.rng import RandomStreams
+
 __all__ = ["FailureInjector", "NO_FAILURES"]
+
+#: Stream-name prefix for per-resource failure draws (see
+#: :meth:`FailureInjector.for_resource`).
+STREAM_PREFIX = "storage-failures"
 
 
 class FailureInjector:
@@ -43,6 +50,23 @@ class FailureInjector:
         self._fail_ops: Set[int] = set(fail_ops or ())
         self._op_count = 0
         self.failures_injected = 0
+
+    @classmethod
+    def for_resource(cls, streams: "RandomStreams", resource_name: str,
+                     probability: float = 0.0,
+                     fail_ops: Optional[Iterable[int]] = None
+                     ) -> "FailureInjector":
+        """An injector drawing from the *per-resource* named stream.
+
+        Each resource gets its own substream
+        (``storage-failures/<resource>``) of ``streams``, so how often one
+        resource is probed never shifts another resource's fault points,
+        and fault draws are isolated from every other stochastic component
+        of the run — the property chaos schedules need to be reproducible.
+        """
+        return cls(probability=probability,
+                   rng=streams.stream(f"{STREAM_PREFIX}/{resource_name}"),
+                   fail_ops=fail_ops)
 
     @property
     def op_count(self) -> int:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.errors import CapacityExceeded, StorageError
+from repro.errors import CapacityExceeded, ResourceOffline, StorageError
 from repro.storage.failures import FailureInjector, NO_FAILURES
 from repro.storage.models import MODEL_PRESETS, PerformanceModel, StorageClass
 
@@ -90,7 +90,8 @@ class PhysicalStorageResource:
 
     def _require_online(self) -> None:
         if not self.online:
-            raise StorageError(f"storage resource {self.name!r} is offline")
+            raise ResourceOffline(
+                f"storage resource {self.name!r} is offline")
 
     def write(self, object_id: str, nbytes: float) -> float:
         """Allocate and write ``object_id``; return the operation duration."""

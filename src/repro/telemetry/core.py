@@ -101,6 +101,15 @@ class Telemetry:
         self.net_link_utilization = metric.gauge(
             "net_link_utilization_ratio",
             "Fraction of a link's bandwidth in use", ["link"])
+        # -- faults & recovery ---------------------------------------------
+        self.fault_events = metric.counter(
+            "fault_events_total",
+            "Fault-window transitions driven by a fault schedule",
+            ["kind", "phase"])
+        self.recovery_actions = metric.counter(
+            "recovery_actions_total",
+            "Recovery actions (retry / resume / failover / restart)",
+            ["kind"])
         # -- catalog query planner -----------------------------------------
         self.catalog_queries = metric.counter(
             "catalog_queries_total",

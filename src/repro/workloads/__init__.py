@@ -1,5 +1,11 @@
 """Workload generators and the paper's named deployment scenarios."""
 
+from repro.workloads.chaos import (
+    ChaosReport,
+    default_chaos_seeds,
+    run_chaos,
+    run_signature,
+)
 from repro.workloads.generators import (
     lognormal_sizes,
     populate_collection,
@@ -21,4 +27,5 @@ __all__ = [
     "sleep_bag_flow", "sleep_chain_flow", "random_task_graph",
     "Scenario", "bbsrc_scenario", "cms_scenario", "scec_scenario",
     "ucsd_library_scenario",
+    "ChaosReport", "run_chaos", "run_signature", "default_chaos_seeds",
 ]

@@ -1,0 +1,320 @@
+"""Chaos harness: randomized fault schedules against standard scenarios.
+
+The faults subsystem earns its keep only if recovery actually preserves
+the datagrid's guarantees under arbitrary (seeded) failure timing. This
+module runs the standard CMS exploding-star workload — concurrent staged
+replication flows, an ILM fan-out pass, and an audit read pass — under a
+:meth:`~repro.faults.model.FaultSchedule.random` schedule with the whole
+recovery stack attached (DGMS failover + transfer resume + flow
+supervision), then checks the survival invariants:
+
+* **no lost replicas** — every object keeps at least one good replica and
+  every good replica's allocation really exists on its physical resource;
+* **terminal executions** — every submitted execution reached a terminal
+  state (and, with recovery enabled, COMPLETED);
+* **complete provenance** — each execution's chain has its start, its
+  terminal record, and a completion record per journalled step;
+* **accounted faults** — every fault window begin/end pair and every
+  recovery action is visible in telemetry.
+
+Everything is seeded, so a violating schedule is a reproducible test
+case: rerun :func:`run_chaos` with the reported seed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dgl.builder import flow_builder
+from repro.dgl.model import DataGridRequest, ExecutionState
+from repro.faults.model import FaultDriver, FaultSchedule, attach_faults
+from repro.faults.recovery import (
+    FlowSupervisor,
+    RecoveryService,
+    RetryPolicy,
+    attach_recovery,
+)
+from repro.ilm.engine import ILMManager
+from repro.ilm.policy import ILMPolicy, PlacementRule
+from repro.sim.rng import RandomStreams
+from repro.storage import MB
+from repro.telemetry.instrument import instrument_scenario
+from repro.workloads.scenarios import Scenario, cms_scenario
+
+__all__ = ["ChaosReport", "run_chaos", "run_signature", "CHAOS_POLICY",
+           "default_chaos_seeds"]
+
+#: Generous budget: a chaos outage can hold a resource down for a fifth
+#: of the horizon, so retries must be able to outwait the longest window
+#: (capped delays sum well past it) without spinning hot.
+CHAOS_POLICY = RetryPolicy(max_attempts=12, base_delay=1.0, multiplier=2.0,
+                           max_delay=30.0, jitter=0.1)
+
+
+def default_chaos_seeds(count: int = 20) -> List[int]:
+    """The seed list the invariant suite sweeps (env-overridable size).
+
+    ``CHAOS_SEEDS`` shrinks or grows the sweep — CI smoke jobs run a
+    handful, the acceptance run does at least twenty.
+    """
+    return list(range(int(os.environ.get("CHAOS_SEEDS", count))))
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run: metrics plus invariant violations."""
+
+    seed: int
+    faults: bool
+    recovery: bool
+    makespan: float
+    faults_begun: int = 0
+    faults_ended: int = 0
+    interrupted_transfers: int = 0
+    restarts: int = 0
+    recovery_actions: Dict[str, int] = field(default_factory=dict)
+    executions: Dict[str, str] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+    #: Bit-identity fingerprint of the run (see :func:`run_signature`).
+    signature: Tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+
+def run_signature(scenario: Scenario) -> Tuple:
+    """A fingerprint that is bit-identical iff two runs behaved the same.
+
+    Covers the clock, every completed transfer's exact float timings, the
+    terminal state and finish time of every execution, and the provenance
+    record count — enough that any behavioural drift in the no-fault path
+    shows up as a signature mismatch.
+    """
+    transfers = scenario.dgms.transfers
+    return (
+        scenario.env.now,
+        tuple((s.src, s.dst, s.nbytes, s.start_time, s.end_time)
+              for s in transfers.completed),
+        transfers.total_bytes_moved,
+        tuple(sorted((e.request_id, e.state.value, e.finished_at)
+                     for e in scenario.server.executions())),
+        len(scenario.provenance.records()),
+    )
+
+
+# --------------------------------------------------------------------------
+# The workload
+# --------------------------------------------------------------------------
+
+
+def _replicate_flow(name: str, paths: List[str], resource: str):
+    builder = flow_builder(name)
+    for index, path in enumerate(paths):
+        builder.step(f"rep-{index}", "srb.replicate",
+                     path=path, resource=resource)
+    return builder.build()
+
+
+def _audit_flow(name: str, paths: List[str], to_domain: str):
+    builder = flow_builder(name)
+    for index, path in enumerate(paths):
+        builder.step(f"get-{index}", "srb.get",
+                     path=path, to_domain=to_domain)
+    return builder.build()
+
+
+def _run_workload(scenario: Scenario,
+                  supervisor: Optional[FlowSupervisor]) -> None:
+    env = scenario.env
+    server = scenario.server
+    user = scenario.users["physicist"]
+    paths = [obj.path for obj in
+             scenario.dgms.namespace.iter_objects_in_path_order("/cms/run1")]
+    tier1_resources = scenario.extras["tier1_resources"]
+    tier2_domain = scenario.extras["tier2"][0]
+    tier2_resource = scenario.extras["tier2_resources"][0]
+
+    def submit(flow):
+        """Start one flow; returns a process resolving to its execution."""
+        request = DataGridRequest(user=user.qualified_name,
+                                  virtual_organization="chaos", body=flow,
+                                  asynchronous=True)
+        if supervisor is not None:
+            def _supervised():
+                execution = yield from supervisor.run(request)
+                return execution
+            return env.process(_supervised())
+        response = server.submit(request)
+
+        def _unsupervised():
+            execution = yield server.wait(response.request_id)
+            return execution
+        return env.process(_unsupervised())
+
+    def _driver():
+        # Stage 1: staged replication, one concurrent flow per tier-1.
+        stage1 = [submit(_replicate_flow(f"stage1-{resource}", paths,
+                                         resource))
+                  for resource in tier1_resources]
+        for process in stage1:
+            yield process
+        # Stage 2: an ILM fan-out pass mirrors everything to a tier-2
+        # resource — the months-long lifecycle process, here supervised.
+        manager = ILMManager(server)
+        manager.add_policy(ILMPolicy(
+            name="t2-mirror", collection="/cms/run1", domain=tier2_domain,
+            rules=[PlacementRule("fan-out", "replica_count < 4",
+                                 "replicate_to", tier2_resource)]))
+        yield from manager.run_pass_sync("t2-mirror", user,
+                                         supervisor=supervisor)
+        # Stage 3: audit reads to a tier-2 domain (exercises the
+        # alternate-replica failover path in DGMS.get).
+        yield submit(_audit_flow("audit", paths, tier2_domain))
+
+    env.run_process(_driver())
+
+
+# --------------------------------------------------------------------------
+# Invariants
+# --------------------------------------------------------------------------
+
+
+def _check_invariants(scenario: Scenario, driver: Optional[FaultDriver],
+                      service: Optional[RecoveryService],
+                      supervisor: Optional[FlowSupervisor]) -> List[str]:
+    violations: List[str] = []
+    dgms = scenario.dgms
+    server = scenario.server
+    provenance = scenario.provenance
+    telemetry = scenario.env.telemetry
+
+    # No lost replicas: the catalog and the physical allocations agree.
+    for obj in dgms.namespace.iter_objects("/"):
+        good = obj.good_replicas()
+        if not good:
+            violations.append(f"{obj.path}: no good replicas left")
+        for replica in good:
+            physical = dgms.resources.physical(replica.physical_name).physical
+            if not physical.holds(replica.allocation_id):
+                violations.append(
+                    f"{obj.path}: replica {replica.allocation_id} missing "
+                    f"from {replica.physical_name}")
+
+    # Every execution reached a terminal state; with recovery attached
+    # the chaos workload must come out COMPLETED, not merely terminal.
+    for execution in server.executions():
+        if not execution.state.is_terminal:
+            violations.append(
+                f"{execution.request_id}: stuck in "
+                f"{execution.state.value}")
+        elif (service is not None
+              and execution.state is not ExecutionState.COMPLETED):
+            violations.append(
+                f"{execution.request_id}: {execution.state.value} despite "
+                f"recovery ({execution.error})")
+
+    # Provenance chain complete: start, terminal record, and one
+    # completion record per journalled step instance.
+    for execution in server.executions():
+        kinds = {record.operation
+                 for record in provenance.for_subject(execution.request_id)}
+        if "execution_started" not in kinds:
+            violations.append(
+                f"{execution.request_id}: provenance missing "
+                "execution_started")
+        if execution.state.is_terminal:
+            terminal = f"execution_{execution.state.value}"
+            if terminal not in kinds:
+                violations.append(
+                    f"{execution.request_id}: provenance missing {terminal}")
+        for key in execution.journal:
+            step_kinds = {record.operation for record in provenance.
+                          for_subject(f"{execution.request_id}/{key}")}
+            if not step_kinds & {"step_completed", "step_replayed"}:
+                violations.append(
+                    f"{execution.request_id}/{key}: journalled step has no "
+                    "completion provenance")
+
+    # Every fault window opened, closed, and left a telemetry pair; every
+    # recovery action was mirrored into the telemetry log.
+    if driver is not None:
+        if driver.begun != len(driver.schedule):
+            violations.append(
+                f"{driver.begun}/{len(driver.schedule)} fault windows began")
+        if driver.ended != driver.begun:
+            violations.append(
+                f"{driver.ended}/{driver.begun} fault windows ended")
+        if telemetry is not None:
+            begins = len(telemetry.log.of_kind("fault.begin"))
+            ends = len(telemetry.log.of_kind("fault.end"))
+            if begins != driver.begun or ends != driver.ended:
+                violations.append(
+                    f"telemetry saw {begins} begins/{ends} ends for "
+                    f"{driver.begun}/{driver.ended} fault transitions")
+    if service is not None and telemetry is not None:
+        logged = sum(len(telemetry.log.of_kind(f"recovery.{kind}"))
+                     for kind in service.counts)
+        if logged != service.total_actions:
+            violations.append(
+                f"telemetry logged {logged} of {service.total_actions} "
+                "recovery actions")
+    return violations
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+
+def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
+              n_fault_events: int = 6, horizon: float = 40.0,
+              n_events: int = 4, event_size: float = 16 * MB,
+              schedule: Optional[FaultSchedule] = None) -> ChaosReport:
+    """One chaos run: CMS workload under a seeded fault schedule.
+
+    ``faults=False`` runs the identical workload with no schedule
+    attached (the bit-identity baseline); ``recovery=False`` leaves the
+    grid fail-fast so the damage a schedule does is measurable. Pass an
+    explicit ``schedule`` to replay a known one instead of drawing a
+    random schedule from the seed.
+    """
+    scenario = cms_scenario(n_tier1=2, n_tier2_per_t1=1, n_events=n_events,
+                            event_size=event_size, seed=seed)
+    instrument_scenario(scenario)
+    streams = RandomStreams(seed)
+    driver = None
+    if faults:
+        if schedule is None:
+            schedule = FaultSchedule.random(streams, scenario.dgms, horizon,
+                                            n_events=n_fault_events)
+        driver = attach_faults(scenario.dgms, schedule, streams)
+    service = None
+    supervisor = None
+    if recovery:
+        service = attach_recovery(scenario.dgms, streams,
+                                  policy=CHAOS_POLICY)
+        supervisor = FlowSupervisor(scenario.server, streams,
+                                    policy=CHAOS_POLICY, recovery=service)
+    _run_workload(scenario, supervisor)
+    makespan = scenario.env.now
+    # Drain any fault windows still open past the workload's end so the
+    # invariant check sees the restored (and fully accounted) grid.
+    scenario.env.run()
+    report = ChaosReport(
+        seed=seed, faults=faults, recovery=recovery, makespan=makespan,
+        faults_begun=driver.begun if driver else 0,
+        faults_ended=driver.ended if driver else 0,
+        interrupted_transfers=scenario.dgms.transfers.interrupted_count,
+        restarts=supervisor.restarts if supervisor else 0,
+        recovery_actions=dict(service.counts) if service else {},
+        executions={execution.request_id: execution.state.value
+                    for execution in scenario.server.executions()},
+        signature=run_signature(scenario),
+    )
+    report.violations = _check_invariants(scenario, driver, service,
+                                          supervisor)
+    return report

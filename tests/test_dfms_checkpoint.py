@@ -156,3 +156,72 @@ def test_restored_execution_cannot_collide_with_live_one(dfms):
     snapshot = checkpoint_execution(dfms.server, ack.request_id)
     with pytest.raises(DfMSError, match="already registered"):
         restore_execution(dfms.server, snapshot)
+
+
+def test_json_round_trip_restores_midflow_snapshot_to_completion(dfms):
+    # The full persistence path: pause mid-flow, serialize the snapshot to
+    # its JSON wire form, "crash", and restore a NEW server from the
+    # parsed text — the execution picks up where the journal left off.
+    ack = submit_async(dfms, three_puts())
+
+    def run_until_paused():
+        yield dfms.env.timeout(0.01)
+        dfms.server.pause(ack.request_id)
+        yield dfms.env.timeout(0.5)
+        text = checkpoint_to_json(
+            checkpoint_execution(dfms.server, ack.request_id))
+        dfms.server.cancel(ack.request_id)
+        yield dfms.server.wait(ack.request_id)
+        return text
+
+    text = dfms.run(run_until_paused())
+    assert isinstance(text, str)
+    new_server = DfMSServer(dfms.env, dfms.dgms, name="matrix-json")
+    execution = restore_execution(new_server, checkpoint_from_json(text))
+
+    def wait_done():
+        yield new_server.wait(execution.request_id)
+
+    dfms.run(wait_done())
+    assert execution.state is ExecutionState.COMPLETED
+    for i in range(3):
+        obj = dfms.dgms.namespace.resolve_object(f"/home/alice/c{i}.dat")
+        assert len(obj.replicas) == 1
+
+
+def test_restore_replace_overwrites_terminal_execution_in_place(dfms):
+    # The supervisor's restart path: a FAILED execution may be replaced on
+    # the SAME server, and the old request id resolves to the new attempt.
+    from repro.storage.failures import FailureInjector
+    dfms.sdsc_disk.failures = FailureInjector(fail_ops=[2])
+    ack = submit_async(dfms, three_puts())
+
+    def run_to_failure():
+        yield dfms.server.wait(ack.request_id)
+
+    dfms.run(run_to_failure())
+    assert dfms.server.status(ack.request_id).state is ExecutionState.FAILED
+    snapshot = checkpoint_execution(dfms.server, ack.request_id)
+    execution = restore_execution(dfms.server, snapshot, replace=True)
+
+    def wait_done():
+        yield dfms.server.wait(execution.request_id)
+
+    dfms.run(wait_done())
+    assert dfms.server.status(ack.request_id).state is (
+        ExecutionState.COMPLETED)
+
+
+def test_restore_replace_refuses_live_execution(dfms):
+    from repro.errors import DfMSError
+    ack = submit_async(dfms, three_puts())
+    # Not yet terminal (the engine has not even started): even with
+    # replace=True two engines must never race on one request id.
+    snapshot = checkpoint_execution(dfms.server, ack.request_id)
+    with pytest.raises(DfMSError, match="already registered"):
+        restore_execution(dfms.server, snapshot, replace=True)
+
+    def drain():
+        yield dfms.server.wait(ack.request_id)
+
+    dfms.run(drain())

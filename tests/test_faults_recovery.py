@@ -1,0 +1,224 @@
+"""Tests for retry policies, failover reads, resumable transfers, and
+checkpoint/restart flow supervision."""
+
+import pytest
+
+from repro.dgl import DataGridRequest, ExecutionState, flow_builder
+from repro.errors import FaultError, PermissionDenied
+from repro.faults import (
+    FaultSchedule,
+    FlowSupervisor,
+    LinkOutage,
+    RetryPolicy,
+    StorageOutage,
+    attach_faults,
+    attach_recovery,
+)
+from repro.ilm import ILMManager, ILMPolicy, PlacementRule
+from repro.sim.rng import RandomStreams
+from repro.storage import MB
+from repro.storage.failures import FailureInjector
+
+#: Deterministic timing (no jitter) so retry instants are predictable.
+FAST = RetryPolicy(max_attempts=8, base_delay=0.5, multiplier=2.0,
+                   max_delay=4.0, jitter=0.0)
+
+
+# -- RetryPolicy -------------------------------------------------------------
+
+
+def test_retry_policy_delay_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=5.0,
+                         jitter=0.0)
+    assert [policy.delay(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+    assert policy.delay(50) == 5.0
+
+
+def test_retry_policy_jitter_is_bounded_and_seeded():
+    policy = RetryPolicy(base_delay=10.0, jitter=0.2)
+    draws = [policy.delay(1, RandomStreams(4).stream("j"))
+             for _ in range(20)]
+    assert all(8.0 <= d <= 12.0 for d in draws)
+    again = [policy.delay(1, RandomStreams(4).stream("j"))
+             for _ in range(20)]
+    assert draws[0] == again[0]
+
+
+def test_retry_policy_validates_parameters():
+    with pytest.raises(FaultError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(FaultError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(FaultError):
+        RetryPolicy(jitter=1.0)
+
+
+# -- resumable transfers -----------------------------------------------------
+
+
+def test_run_transfer_resumes_from_offset_after_link_outage(grid):
+    attach_faults(grid.dgms,
+                  FaultSchedule([LinkOutage(1.0, 1.0, "sdsc", "ucsd")]))
+    service = attach_recovery(grid.dgms, RandomStreams(0), policy=FAST)
+
+    def go():
+        yield from service.run_transfer(grid.dgms.transfers, "sdsc", "ucsd",
+                                        300 * MB)
+
+    grid.run(go())
+    # First leg delivered 0.99 s * 100 MB/s before the cut; the retry
+    # streams only the remainder.
+    assert service.count("resume") == 1
+    assert service.count("retry") >= 1
+    remainder = grid.dgms.transfers.completed[-1].nbytes
+    assert remainder == pytest.approx(300 * MB - 0.99 * 100 * MB)
+    assert grid.dgms.transfers.total_bytes_moved == pytest.approx(300 * MB)
+
+
+def test_run_transfer_gives_up_after_max_attempts(grid):
+    # A permanent cut: the outage outlives every backoff the policy allows.
+    attach_faults(grid.dgms,
+                  FaultSchedule([LinkOutage(0.5, 10_000.0, "sdsc", "ucsd")]))
+    tight = RetryPolicy(max_attempts=2, base_delay=0.1, jitter=0.0)
+    service = attach_recovery(grid.dgms, RandomStreams(0), policy=tight)
+
+    def go():
+        yield from service.run_transfer(grid.dgms.transfers, "sdsc", "ucsd",
+                                        300 * MB)
+
+    from repro.errors import NetworkError
+    with pytest.raises(NetworkError):
+        grid.run(go())
+
+
+# -- failover reads ----------------------------------------------------------
+
+
+def test_get_fails_over_to_alternate_replica(grid):
+    service = attach_recovery(grid.dgms, RandomStreams(0), policy=FAST)
+    grid.put_file("/home/alice/evt.dat", 4 * MB)
+
+    def setup():
+        yield grid.dgms.replicate(grid.alice, "/home/alice/evt.dat",
+                                  "ucsd-disk")
+
+    grid.run(setup())
+    # The nearest replica for a read *to sdsc* is the local one; knock its
+    # resource offline so the read must fail over to the ucsd copy.
+    grid.sdsc_disk.online = False
+
+    def read():
+        obj = yield grid.dgms.get(grid.alice, "/home/alice/evt.dat", "sdsc")
+        return obj
+
+    obj = grid.run(read())
+    assert obj.path == "/home/alice/evt.dat"
+    assert service.count("failover") == 1
+    # The bytes really came over the WAN from the surviving replica.
+    assert grid.dgms.transfers.completed[-1].src == "ucsd"
+
+
+def test_get_waits_out_an_outage_when_no_alternate_exists(grid):
+    attach_faults(grid.dgms,
+                  FaultSchedule([StorageOutage(0.5, 2.0, "sdsc-disk-1")]))
+    service = attach_recovery(grid.dgms, RandomStreams(0), policy=FAST)
+    grid.put_file("/home/alice/only.dat", 4 * MB)
+
+    def go():
+        yield grid.env.timeout(1.0)   # read begins mid-outage
+        obj = yield grid.dgms.get(grid.alice, "/home/alice/only.dat", "ucsd")
+        return obj
+
+    obj = grid.run(go())
+    assert obj.path == "/home/alice/only.dat"
+    assert service.count("failover") >= 1   # the sole replica failed a try
+    assert service.count("retry") >= 1      # then the round backed off
+    assert grid.env.now > 2.5               # it really waited the outage out
+
+
+def test_get_propagates_non_retryable_errors(grid):
+    attach_recovery(grid.dgms, RandomStreams(0), policy=FAST)
+    grid.put_file("/home/alice/private.dat")
+
+    def read():
+        yield grid.dgms.get(grid.bob, "/home/alice/private.dat", "ucsd")
+
+    with pytest.raises(PermissionDenied):
+        grid.run(read())
+
+
+# -- flow supervision --------------------------------------------------------
+
+
+def _ingest_flow(n=3, resource="sdsc-disk"):
+    builder = flow_builder("ingest")
+    for i in range(n):
+        builder.step(f"put{i}", "srb.put", path=f"/home/alice/c{i}.dat",
+                     size=MB, resource=resource)
+    return builder.build()
+
+
+def _supervised_run(dfms, supervisor, flow):
+    request = DataGridRequest(user=dfms.alice.qualified_name,
+                              virtual_organization="vo", body=flow)
+
+    def go():
+        execution = yield from supervisor.run(request)
+        return execution
+
+    return dfms.run(go())
+
+
+def test_supervisor_restarts_retryable_failure_and_replays_journal(dfms):
+    # The second write on sdsc-disk fails once (StorageFailure is
+    # retryable); the restarted execution must replay put0, not rerun it.
+    dfms.sdsc_disk.failures = FailureInjector(fail_ops=[2])
+    supervisor = FlowSupervisor(dfms.server, RandomStreams(0), policy=FAST)
+    execution = _supervised_run(dfms, supervisor, _ingest_flow())
+    assert execution.state is ExecutionState.COMPLETED
+    assert supervisor.restarts == 1
+    for i in range(3):
+        obj = dfms.dgms.namespace.resolve_object(f"/home/alice/c{i}.dat")
+        assert len(obj.good_replicas()) == 1
+
+
+def test_supervisor_returns_non_retryable_failure_unretried(dfms):
+    supervisor = FlowSupervisor(dfms.server, RandomStreams(0), policy=FAST)
+    execution = _supervised_run(
+        dfms, supervisor, _ingest_flow(resource="no-such-resource"))
+    assert execution.state is ExecutionState.FAILED
+    assert supervisor.restarts == 0
+
+
+def test_supervisor_gives_up_after_max_attempts(dfms):
+    # Every write on sdsc-disk fails: the supervisor retries to its limit
+    # and then surfaces the failed execution instead of looping forever.
+    dfms.sdsc_disk.failures = FailureInjector(fail_ops=range(1, 100))
+    supervisor = FlowSupervisor(
+        dfms.server, RandomStreams(0),
+        policy=RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0))
+    execution = _supervised_run(dfms, supervisor, _ingest_flow())
+    assert execution.state is ExecutionState.FAILED
+    assert supervisor.restarts == 2   # attempts 1 and 2, then give up
+
+
+def test_ilm_pass_runs_under_supervision(dfms):
+    for i in range(2):
+        dfms.put_file(f"/home/alice/d{i}.dat", 2 * MB)
+    dfms.sdsc_disk.failures = FailureInjector(fail_ops=[1])
+    supervisor = FlowSupervisor(dfms.server, RandomStreams(0), policy=FAST)
+    manager = ILMManager(dfms.server)
+    manager.add_policy(ILMPolicy(
+        name="mirror", collection="/home/alice", domain="ucsd",
+        rules=[PlacementRule("fan-out", "replica_count < 2",
+                             "replicate_to", "ucsd-disk")]))
+
+    def go():
+        yield from manager.run_pass_sync("mirror", dfms.alice,
+                                         supervisor=supervisor)
+
+    dfms.run(go())
+    assert supervisor.restarts == 1
+    for i in range(2):
+        obj = dfms.dgms.namespace.resolve_object(f"/home/alice/d{i}.dat")
+        assert len(obj.good_replicas()) == 2
