@@ -1,0 +1,43 @@
+"""``dgflint``: the determinism-contract linter.
+
+The reproduction's central invariant — *same inputs + seeds →
+bit-identical runs* (see ``docs/simulation-model.md``) — is what makes
+years-long provenance, chaos ``run_signature`` fingerprints, and
+checkpoint/restart replay trustworthy. This package makes that contract
+*mechanical*: a pluggable AST linter whose rule pack encodes the repo's
+real conventions (no wall clock in sim code, no unseeded randomness, no
+order-sensitive iteration over unordered sets, no exact float comparison
+on time/rate quantities, retry-contract hygiene, bounded telemetry
+label cardinality).
+
+Entry points:
+
+* :func:`lint_paths` — lint files/trees, returns a :class:`Report`;
+* ``repro lint`` / ``datagridflow lint`` — the CLI front-end;
+* ``[tool.dgflint]`` in ``pyproject.toml`` — configuration;
+* ``# dgf: noqa[DGF0xx]: <reason>`` — inline suppression (a reason is
+  mandatory; a bare noqa is itself a finding, DGF090).
+
+See ``docs/static-analysis.md`` for the rule catalog and the policy on
+adding rules and suppressions.
+"""
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.core import Finding, LintContext, Rule, Suppression, lint_paths, lint_source
+from repro.analysis.report import Report, render_text
+from repro.analysis.rules import RULES, all_rules
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintContext",
+    "Report",
+    "Rule",
+    "RULES",
+    "Suppression",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "render_text",
+]

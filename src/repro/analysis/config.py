@@ -1,0 +1,156 @@
+"""``[tool.dgflint]`` configuration.
+
+Configuration lives in ``pyproject.toml`` next to the code it governs so
+the contract travels with the tree (CI and a laptop lint the same way).
+Every knob has a default that matches this repository's conventions;
+an empty or missing table means "lint with the shipped contract".
+
+Recognized keys (all optional)::
+
+    [tool.dgflint]
+    select = ["DGF001", ...]          # rule codes to run (default: all)
+    exclude = ["*/generated/*"]       # fnmatch patterns of paths to skip
+    dispatch-paths = ["*/faults/*"]   # DGF005: recovery-dispatch modules
+    retryable = ["Retryable", ...]    # DGF005: the Retryable hierarchy
+    allowed-labels = ["access_path"]  # DGF006: bounded-by-construction
+    time-tokens = ["eta"]             # DGF004: extra time/rate name tokens
+    effect-methods = ["publish"]      # DGF003: extra effectful method names
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["LintConfig", "load_config", "DEFAULT_RETRYABLE"]
+
+#: The transitive :class:`~repro.errors.Retryable` hierarchy as the rule
+#: pack knows it. ``tests/test_retryable_audit.py`` walks the real class
+#: hierarchy in :mod:`repro.errors` and fails when this list drifts, so
+#: a new error type cannot silently fall out of recovery's dispatch.
+DEFAULT_RETRYABLE = (
+    "Retryable",
+    "StorageFailure",
+    "ResourceOffline",
+    "NetworkError",
+    "NoRouteError",
+    "TransferInterrupted",
+)
+
+#: Modules whose ``except`` clauses are recovery dispatch (DGF005b):
+#: catching bare ``Exception`` there swallows non-retryable failures
+#: into the retry loop.
+DEFAULT_DISPATCH_PATHS = (
+    "*/faults/recovery.py",
+    "*/faults/model.py",
+)
+
+#: Metric label keys that *look* unbounded to DGF006's token heuristic
+#: but are bounded by construction in this repo. ``access_path`` is the
+#: catalog planner's access-path enum (scan / guid / metadata / size),
+#: not a namespace path.
+DEFAULT_ALLOWED_LABELS = ("access_path",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    select: Optional[frozenset] = None
+    exclude: tuple = ()
+    dispatch_paths: tuple = DEFAULT_DISPATCH_PATHS
+    retryable: tuple = DEFAULT_RETRYABLE
+    allowed_labels: tuple = DEFAULT_ALLOWED_LABELS
+    time_tokens: tuple = ()
+    effect_methods: tuple = ()
+    #: Where the config came from (for the report); None = defaults.
+    source: Optional[str] = None
+
+    def selects(self, code: str) -> bool:
+        """Is the rule with ``code`` enabled under this config?"""
+        return self.select is None or code in self.select
+
+
+def _string_list(table: dict, key: str, where: str) -> Optional[List[str]]:
+    value = table.get(key)
+    if value is None:
+        return None
+    if (not isinstance(value, list)
+            or any(not isinstance(item, str) for item in value)):
+        raise AnalysisError(
+            f"{where}: [tool.dgflint] {key} must be a list of strings")
+    return value
+
+
+def config_from_table(table: dict, source: Optional[str] = None) -> LintConfig:
+    """Build a :class:`LintConfig` from a parsed ``[tool.dgflint]`` table."""
+    where = source if source is not None else "<defaults>"
+    unknown = set(table) - {"select", "exclude", "dispatch-paths",
+                            "retryable", "allowed-labels", "time-tokens",
+                            "effect-methods"}
+    if unknown:
+        raise AnalysisError(
+            f"{where}: unknown [tool.dgflint] keys: {', '.join(sorted(unknown))}")
+    select = _string_list(table, "select", where)
+    retryable = _string_list(table, "retryable", where)
+    dispatch = _string_list(table, "dispatch-paths", where)
+    labels = _string_list(table, "allowed-labels", where)
+    return LintConfig(
+        select=None if select is None else frozenset(select),
+        exclude=tuple(_string_list(table, "exclude", where) or ()),
+        dispatch_paths=(DEFAULT_DISPATCH_PATHS if dispatch is None
+                        else tuple(dispatch)),
+        retryable=(DEFAULT_RETRYABLE if retryable is None
+                   else tuple(retryable)),
+        allowed_labels=(DEFAULT_ALLOWED_LABELS if labels is None
+                        else tuple(labels)),
+        time_tokens=tuple(_string_list(table, "time-tokens", where) or ()),
+        effect_methods=tuple(
+            _string_list(table, "effect-methods", where) or ()),
+        source=source,
+    )
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(paths: Sequence[str] = (),
+                explicit: Optional[str] = None) -> LintConfig:
+    """Load the config governing ``paths`` (or the given file).
+
+    With ``explicit`` the file must exist and parse; otherwise the
+    nearest ``pyproject.toml`` above the first path (or the working
+    directory) is used, and a missing file or missing table falls back
+    to the shipped defaults.
+    """
+    if explicit is not None:
+        pyproject = Path(explicit)
+        if not pyproject.is_file():
+            raise AnalysisError(f"config file not found: {explicit}")
+    else:
+        anchor = Path(paths[0]) if paths else Path.cwd()
+        pyproject = find_pyproject(anchor)
+        if pyproject is None:
+            return LintConfig()
+    try:
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as exc:
+        raise AnalysisError(f"{pyproject}: not valid TOML: {exc}") from exc
+    table = data.get("tool", {}).get("dgflint", {})
+    if not isinstance(table, dict):
+        raise AnalysisError(f"{pyproject}: [tool.dgflint] must be a table")
+    return config_from_table(table, source=str(pyproject))

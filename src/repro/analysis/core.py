@@ -1,0 +1,489 @@
+"""Linter core: findings, the rule protocol, and the AST driver.
+
+One pass per file: the source is parsed once, a :class:`_Walker` visits
+every node and fans each out to the rules that declared a matching
+``visit_<NodeType>`` hook. Rules never re-walk the tree themselves; the
+:class:`LintContext` gives them the shared cheap-to-derive facts
+(import aliases, enclosing class/function, set-typed inference, name
+tokens) so each rule stays a small, testable class.
+
+Suppression is inline and *reasoned*::
+
+    projected = when  # dgf: noqa[DGF004]: exact identity check, see docs
+
+A ``dgf: noqa`` whose reason is missing (or whose bracket is empty) is
+itself reported as **DGF090** — the contract is that every suppression
+explains itself to the next reader, which is what the acceptance gate
+"zero unexplained suppressions" means mechanically.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.config import LintConfig
+
+__all__ = ["Finding", "Suppression", "Rule", "LintContext",
+           "lint_source", "lint_paths", "SUPPRESSION_CODE",
+           "SYNTAX_CODE", "split_tokens"]
+
+#: Meta-code for suppression hygiene (reason-less / empty noqa).
+SUPPRESSION_CODE = "DGF090"
+#: Meta-code for files that do not parse.
+SYNTAX_CODE = "DGF099"
+
+_NOQA_RE = re.compile(
+    r"#\s*dgf:\s*noqa\[(?P<codes>[^\]]*)\]\s*(?::\s*(?P<reason>\S.*))?")
+
+_TOKEN_RE = re.compile(r"[A-Za-z][a-z0-9]*")
+
+
+def split_tokens(name: str) -> frozenset:
+    """Lower-cased word tokens of an identifier (snake or camel case).
+
+    >>> sorted(split_tokens("projectedFinish_time"))
+    ['finish', 'projected', 'time']
+    """
+    return frozenset(match.group(0).lower()
+                     for match in _TOKEN_RE.finditer(name))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {"code": self.code, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(code=data["code"], path=data["path"],
+                   line=int(data["line"]), col=int(data["col"]),
+                   message=data["message"])
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One finding that an inline reasoned noqa absorbed."""
+
+    code: str
+    path: str
+    line: int
+    reason: str
+    message: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {"code": self.code, "path": self.path, "line": self.line,
+                "reason": self.reason, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Suppression":
+        return cls(code=data["code"], path=data["path"],
+                   line=int(data["line"]), reason=data["reason"],
+                   message=data["message"])
+
+
+class Rule:
+    """Base class for lint rules.
+
+    A rule declares a ``code`` (``DGF0xx``), a short ``name`` (kebab
+    case, used in reports), a ``rationale`` (why the contract exists —
+    surfaced in ``docs/static-analysis.md`` and the JSON report), and
+    any number of ``visit_<NodeType>(node, ctx)`` hooks. Hooks report
+    violations through :meth:`LintContext.report`; they must not mutate
+    the tree or assume any particular visit order beyond "parents
+    before children".
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+
+class LintContext:
+    """Per-file facts shared by every rule, plus the finding sink."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 config: LintConfig) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.findings: List[Finding] = []
+        #: ``import x as y`` aliases: local name -> dotted module.
+        self.module_aliases: Dict[str, str] = {}
+        #: ``from m import a as b``: local name -> (module, attr).
+        self.from_imports: Dict[str, Tuple[str, str]] = {}
+        #: Enclosing ClassDef / FunctionDef stacks (innermost last),
+        #: maintained by the walker.
+        self.class_stack: List[ast.ClassDef] = []
+        self.function_stack: List[ast.AST] = []
+        self._set_attr_cache: Optional[frozenset] = None
+        self._set_local_cache: Dict[int, frozenset] = {}
+        self._collect_imports(tree)
+
+    # -- reporting --------------------------------------------------------
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        """Record one violation of ``rule`` at ``node``."""
+        self.findings.append(Finding(
+            code=rule.code, path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), message=message))
+
+    # -- imports ----------------------------------------------------------
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or
+                                        alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        node.module, alias.name)
+
+    def resolve_call_target(self, func: ast.AST) -> Optional[Tuple[str, str]]:
+        """Resolve a call's function to ``(dotted_module, attr)``.
+
+        ``time.monotonic`` with ``import time`` -> ``("time",
+        "monotonic")``; ``t()`` after ``from time import time as t`` ->
+        ``("time", "time")``; ``np.random.random`` -> ``("numpy.random",
+        "random")``. Returns ``None`` for anything not traceable to an
+        import.
+        """
+        if isinstance(func, ast.Name):
+            return self.from_imports.get(func.id)
+        if isinstance(func, ast.Attribute):
+            parts: List[str] = [func.attr]
+            node = func.value
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if not isinstance(node, ast.Name):
+                return None
+            root = node.id
+            if root in self.module_aliases:
+                module = self.module_aliases[root]
+            elif root in self.from_imports:
+                origin, attr = self.from_imports[root]
+                module = f"{origin}.{attr}"
+            else:
+                return None
+            parts.reverse()
+            return (".".join([module, *parts[:-1]]), parts[-1])
+        return None
+
+    # -- set-typed inference (DGF003) -------------------------------------
+
+    def is_unordered(self, node: ast.AST) -> bool:
+        """Best-effort: does ``node`` evaluate to a set/frozenset?
+
+        Covers literal sets and comprehensions, ``set()``/``frozenset()``
+        calls, set-algebra ``BinOp``s whose operands are sets, names
+        assigned a set in the enclosing function, and ``self.x``
+        attributes that the enclosing (or any) class annotates or
+        initialises as a set.
+        """
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, (ast.DictComp, ast.GeneratorExp, ast.ListComp)):
+            # A dict/list built by iterating a set inherits the set's
+            # nondeterministic order.
+            return (bool(node.generators)
+                    and self.is_unordered(node.generators[0].iter))
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            # dict.fromkeys(s) / list(s) / tuple(s): order comes from s.
+            if (isinstance(func, ast.Name) and func.id in ("list", "tuple")
+                    and len(node.args) == 1
+                    and self.is_unordered(node.args[0])):
+                return True
+            if (isinstance(func, ast.Attribute) and func.attr == "fromkeys"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "dict"
+                    and node.args and self.is_unordered(node.args[0])):
+                return True
+            # x.union(y) / x.intersection(...) on a known set
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("union", "intersection", "difference",
+                                      "symmetric_difference", "copy")
+                    and self.is_unordered(func.value)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return self.is_unordered(node.left) or self.is_unordered(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self._set_locals()
+        if isinstance(node, ast.Attribute):
+            return (isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in self._set_attrs())
+        return False
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.AST) -> bool:
+        node = annotation
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):  # typing.Set / t.FrozenSet
+            node = ast.Name(id=node.attr)
+        return (isinstance(node, ast.Name)
+                and node.id in ("set", "frozenset", "Set", "FrozenSet",
+                                "AbstractSet", "MutableSet"))
+
+    def _set_attrs(self) -> frozenset:
+        """``self.<attr>`` names any class in the file types as a set."""
+        if self._set_attr_cache is None:
+            # Guard against re-entry: building the cache consults
+            # is_unordered, which may land back here for self-attribute
+            # right-hand sides (self.x = self.y | ...).
+            self._set_attr_cache = frozenset()
+            attrs = set()
+            for node in ast.walk(self.tree):
+                target = None
+                if isinstance(node, ast.AnnAssign):
+                    if self._is_set_annotation(node.annotation):
+                        target = node.target
+                elif isinstance(node, ast.Assign) and self.is_unordered(
+                        node.value):
+                    target = node.targets[0] if len(node.targets) == 1 else None
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attrs.add(target.attr)
+            self._set_attr_cache = frozenset(attrs)
+        return self._set_attr_cache
+
+    def _set_locals(self) -> frozenset:
+        """Names the innermost enclosing function assigns a set."""
+        if not self.function_stack:
+            return frozenset()
+        function = self.function_stack[-1]
+        cached = self._set_local_cache.get(id(function))
+        if cached is not None:
+            return cached
+        # Guard against re-entry: classifying right-hand sides consults
+        # is_unordered, which lands back here for name references
+        # (x = y | z). The empty seed makes that inner lookup miss, which
+        # only costs one level of transitive inference.
+        self._set_local_cache[id(function)] = frozenset()
+        names = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self.is_unordered(
+                        node.value):
+                    names.add(target.id)
+            elif (isinstance(node, ast.AnnAssign)
+                  and isinstance(node.target, ast.Name)
+                  and self._is_set_annotation(node.annotation)):
+                names.add(node.target.id)
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                if self._is_set_annotation(node.annotation):
+                    names.add(node.arg)
+        result = frozenset(names)
+        self._set_local_cache[id(function)] = result
+        return result
+
+
+class _Walker(ast.NodeVisitor):
+    """Single-pass driver: dispatches each node to every interested rule."""
+
+    def __init__(self, rules: Sequence[Rule], ctx: LintContext) -> None:
+        self.ctx = ctx
+        #: node-type name -> [bound hooks], built once per file.
+        self.hooks: Dict[str, List] = {}
+        for rule in rules:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    self.hooks.setdefault(attr[6:], []).append(
+                        getattr(rule, attr))
+
+    def visit(self, node: ast.AST) -> None:
+        ctx = self.ctx
+        is_class = isinstance(node, ast.ClassDef)
+        is_function = isinstance(node, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef, ast.Lambda))
+        if is_class:
+            ctx.class_stack.append(node)
+        if is_function:
+            ctx.function_stack.append(node)
+        try:
+            for hook in self.hooks.get(type(node).__name__, ()):
+                hook(node, ctx)
+            self.generic_visit(node)
+        finally:
+            if is_class:
+                ctx.class_stack.pop()
+            if is_function:
+                ctx.function_stack.pop()
+
+
+def _parse_noqa(source: str, path: str) -> Tuple[Dict[int, frozenset],
+                                                 Dict[int, str],
+                                                 List[Finding]]:
+    """Scan for ``dgf: noqa`` comments.
+
+    A trailing comment waives findings on its own line. A *standalone*
+    comment line (nothing but the comment) waives findings on the next
+    code line instead, which keeps long statements lintable without
+    overflowing the line length.
+
+    Returns (line -> suppressed codes, line -> reason, hygiene findings).
+    """
+    lines = source.splitlines()
+
+    def _anchor_line(lineno: int, col: int) -> int:
+        """The line a noqa at (lineno, col) applies to."""
+        if lines[lineno - 1][:col].strip():
+            return lineno  # trailing comment: this line
+        # Standalone comment: the next non-blank, non-comment line.
+        for offset in range(lineno, len(lines)):
+            text = lines[offset].strip()
+            if text and not text.startswith("#"):
+                return offset + 1
+        return lineno
+
+    suppressed: Dict[int, frozenset] = {}
+    reasons: Dict[int, str] = {}
+    hygiene: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, SyntaxError):
+        return suppressed, reasons, hygiene
+    # Only genuine comment tokens count: the suppression marker inside a
+    # string literal or docstring is prose, not a waiver.
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        text = token.string
+        lineno = token.start[0]
+        col = token.start[1]
+        match = _NOQA_RE.search(text)
+        if match is None:
+            if "dgf: noqa" in text or "dgf:noqa" in text:
+                hygiene.append(Finding(
+                    code=SUPPRESSION_CODE, path=path, line=lineno,
+                    col=col,
+                    message="malformed suppression: use "
+                            "'# dgf: noqa[DGF0xx]: <reason>'"))
+            continue
+        codes = frozenset(code.strip() for code in
+                          match.group("codes").split(",") if code.strip())
+        reason = (match.group("reason") or "").strip()
+        if not codes:
+            hygiene.append(Finding(
+                code=SUPPRESSION_CODE, path=path, line=lineno,
+                col=col + match.start(),
+                message="suppression lists no rule codes: name the "
+                        "DGF0xx being waived"))
+            continue
+        if not reason:
+            hygiene.append(Finding(
+                code=SUPPRESSION_CODE, path=path, line=lineno,
+                col=col + match.start(),
+                message=f"suppression of {', '.join(sorted(codes))} has no "
+                        "reason: every waiver must explain itself"))
+            continue
+        anchor = _anchor_line(lineno, col)
+        suppressed[anchor] = suppressed.get(anchor, frozenset()) | codes
+        reasons[anchor] = reason
+    return suppressed, reasons, hygiene
+
+
+def lint_source(source: str, path: str, config: LintConfig,
+                rules: Optional[Sequence[Rule]] = None
+                ) -> Tuple[List[Finding], List[Suppression]]:
+    """Lint one unit of source text; returns (findings, suppressions)."""
+    from repro.analysis.rules import all_rules
+    if rules is None:
+        rules = all_rules(config)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(code=SYNTAX_CODE, path=path,
+                        line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}")], []
+    ctx = LintContext(path, source, tree, config)
+    _Walker(rules, ctx).visit(tree)
+    noqa, reasons, hygiene = _parse_noqa(source, path)
+    kept: List[Finding] = []
+    suppressions: List[Suppression] = []
+    for finding in ctx.findings:
+        codes = noqa.get(finding.line)
+        if codes is not None and finding.code in codes:
+            suppressions.append(Suppression(
+                code=finding.code, path=path, line=finding.line,
+                reason=reasons[finding.line], message=finding.message))
+        else:
+            kept.append(finding)
+    kept.extend(hygiene)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept, suppressions
+
+
+def iter_python_files(paths: Sequence[str],
+                      exclude: Sequence[str] = ()) -> Iterable[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(path.rglob("*.py"))
+        else:
+            out.append(path)
+    seen = set()
+    for path in sorted(out):
+        posix = path.as_posix()
+        if posix in seen:
+            continue
+        seen.add(posix)
+        if any(fnmatch(posix, pattern) for pattern in exclude):
+            continue
+        yield path
+
+
+def lint_paths(paths: Sequence[str], config: Optional[LintConfig] = None):
+    """Lint files and/or directory trees; returns a :class:`Report`."""
+    from repro.analysis.config import load_config
+    from repro.analysis.report import Report
+    if config is None:
+        config = load_config(paths)
+    from repro.analysis.rules import all_rules
+    rules = all_rules(config)
+    findings: List[Finding] = []
+    suppressions: List[Suppression] = []
+    scanned = 0
+    for path in iter_python_files(paths, config.exclude):
+        scanned += 1
+        source = path.read_text(encoding="utf-8")
+        kept, waived = lint_source(source, path.as_posix(), config,
+                                   rules=rules)
+        findings.extend(kept)
+        suppressions.extend(waived)
+    return Report(findings=findings, suppressions=suppressions,
+                  files_scanned=scanned, config_source=config.source)

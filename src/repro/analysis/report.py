@@ -1,0 +1,111 @@
+"""Machine-readable lint reports.
+
+The JSON document is the CI artifact: stable keys, counts per rule, the
+full finding list, and every suppression with its reason so "zero
+unexplained suppressions" can be audited from the artifact alone
+without re-reading the tree. :meth:`Report.from_dict` round-trips
+:meth:`Report.to_dict` exactly; the schema version guards consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.core import Finding, Suppression
+from repro.errors import AnalysisError
+
+__all__ = ["Report", "render_text", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    files_scanned: int = 0
+    config_source: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no live (non-suppressed) finding remains."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def counts(self) -> Dict[str, int]:
+        """Live finding counts per rule code (sorted by code)."""
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.code] = out.get(finding.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict:
+        """The JSON report document (stable schema, see module docs)."""
+        from repro.analysis.rules import RULES
+        rationale = {rule.code: {"name": rule.name,
+                                 "rationale": rule.rationale}
+                     for rule in RULES}
+        return {
+            "tool": "dgflint",
+            "schema_version": SCHEMA_VERSION,
+            "config_source": self.config_source,
+            "files_scanned": self.files_scanned,
+            "summary": self.counts(),
+            "ok": self.ok,
+            "rules": rationale,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressions": [s.to_dict() for s in self.suppressions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Report":
+        if data.get("tool") != "dgflint":
+            raise AnalysisError(
+                f"not a dgflint report (tool={data.get('tool')!r})")
+        if data.get("schema_version") != SCHEMA_VERSION:
+            raise AnalysisError(
+                f"unsupported report schema_version "
+                f"{data.get('schema_version')!r} (expected {SCHEMA_VERSION})")
+        return cls(
+            findings=[Finding.from_dict(item)
+                      for item in data.get("findings", [])],
+            suppressions=[Suppression.from_dict(item)
+                          for item in data.get("suppressions", [])],
+            files_scanned=int(data.get("files_scanned", 0)),
+            config_source=data.get("config_source"),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize :meth:`to_dict` as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Report":
+        return cls.from_dict(json.loads(text))
+
+
+def render_text(report: Report, verbose_suppressions: bool = False) -> str:
+    """Human-readable rendering for terminals."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                     f"{finding.code} {finding.message}")
+    if verbose_suppressions:
+        for item in report.suppressions:
+            lines.append(f"{item.path}:{item.line}: {item.code} suppressed "
+                         f"({item.reason})")
+    summary = ", ".join(f"{code}×{count}"
+                        for code, count in report.counts().items())
+    lines.append(
+        f"{len(report.findings)} finding(s)"
+        + (f" [{summary}]" if summary else "")
+        + f", {len(report.suppressions)} reasoned suppression(s), "
+        + f"{report.files_scanned} file(s) scanned")
+    return "\n".join(lines)

@@ -11,10 +11,13 @@ Operator-facing utilities over DGL documents and the simulated grid:
 * ``demo``      — run a named scenario end to end and print its summary;
 * ``telemetry`` — same scenarios, with the telemetry layer attached:
   prints a run summary and exports metrics/spans/events (Prometheus text
-  and/or JSONL).
+  and/or JSONL);
+* ``lint``      — run dgflint, the determinism-contract linter
+  (:mod:`repro.analysis`), over a source tree and emit a text or JSON
+  report.
 
-Exposed as the ``datagridflow`` console script (see ``pyproject.toml``)
-and runnable as ``python -m repro.cli``.
+Exposed as the ``datagridflow`` and ``repro`` console scripts (see
+``pyproject.toml``) and runnable as ``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -240,6 +243,31 @@ def _cmd_telemetry(args) -> int:
     return 0 if state == "completed" else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths, load_config, render_text
+    from repro.analysis.config import LintConfig
+
+    config = load_config(args.paths, explicit=args.config)
+    if args.select:
+        selected = frozenset(code.strip()
+                             for code in args.select.split(",")
+                             if code.strip())
+        config = LintConfig(
+            select=selected, exclude=config.exclude,
+            dispatch_paths=config.dispatch_paths,
+            retryable=config.retryable,
+            allowed_labels=config.allowed_labels,
+            time_tokens=config.time_tokens,
+            effect_methods=config.effect_methods, source=config.source)
+    report = lint_paths(args.paths, config=config)
+    if args.format == "json":
+        _write(args.output, report.to_json())
+    else:
+        text = render_text(report, verbose_suppressions=args.show_suppressed)
+        _write(args.output, text)
+    return report.exit_code
+
+
 # -- entry point ------------------------------------------------------------
 
 
@@ -299,6 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the JSONL event/span/sample "
                                 "export here")
     telemetry.set_defaults(handler=_cmd_telemetry)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run dgflint (the determinism-contract linter) over a tree")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("-o", "--output", default=None,
+                      help="write the report here instead of stdout")
+    lint.add_argument("--config", default=None,
+                      help="explicit pyproject.toml (default: nearest one "
+                           "above the first path)")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule codes to run "
+                           "(default: [tool.dgflint] select, or all)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also list reasoned suppressions (text format)")
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

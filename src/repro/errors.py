@@ -222,3 +222,12 @@ class ProvenanceError(ReproError):
 
 class FaultError(ReproError):
     """A fault schedule or recovery policy is malformed or misapplied."""
+
+
+# --------------------------------------------------------------------------
+# Static analysis (dgflint)
+# --------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """The linter's configuration or a report document is malformed."""

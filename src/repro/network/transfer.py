@@ -355,6 +355,7 @@ class TransferService:
         for transfer in candidates:
             rate = min(link.bandwidth_bps / len(by_link[link.ends])
                        for link in transfer.links)
+            # dgf: noqa[DGF004]: intentional exact identity — the settle-only-on-rate-change rule needs bit-equality so incremental and reference engines settle at identical instants
             if rate == transfer.rate:
                 continue
             elapsed = now - transfer.stats.end_time
@@ -419,6 +420,7 @@ class TransferService:
         if delay < 0.0:
             delay = 0.0
         if pending:
+            # dgf: noqa[DGF004]: intentional exact identity — reschedule is skipped only when the recomputed fire time is the same float bit-for-bit; near-misses must reschedule
             if timer.when == self.env.now + delay:
                 return
             timer.reschedule(delay)

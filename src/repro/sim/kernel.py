@@ -417,7 +417,7 @@ class Environment:
         queue = self._queue
         while queue:
             time, _, _, event = queue[0]
-            if event.callbacks is None or getattr(event, "_when", time) != time:
+            if event.callbacks is None or getattr(event, "_when", time) != time:  # dgf: noqa[DGF004]: intentional exact identity — a rescheduled timeout's _when either is this entry's float bit-for-bit or the entry is stale
                 # Already processed (a reschedule duplicate), or a timeout
                 # whose valid fire time moved away from this entry.
                 heapq.heappop(queue)

@@ -34,6 +34,7 @@ class RandomStreams:
         rng = self._streams.get(name)
         if rng is None:
             digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            # dgf: noqa[DGF002]: this IS the sanctioned construction site — every stream is seeded from the family seed + name digest
             rng = random.Random(int.from_bytes(digest[:8], "big"))
             self._streams[name] = rng
         return rng

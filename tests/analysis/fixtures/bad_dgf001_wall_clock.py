@@ -1,0 +1,16 @@
+"""DGF001 negative fixture: wall-clock reads and sleeps in sim code."""
+
+import time as walltime
+from datetime import datetime
+from time import monotonic
+
+
+def stamp_record(record):
+    record["at"] = walltime.time()  # line 9: time.time via alias
+    record["mono"] = monotonic()  # line 10: from-import alias
+    record["day"] = datetime.now()  # line 11: datetime.now
+    return record
+
+
+def nap_between_retries():
+    walltime.sleep(0.5)  # line 16: host-clock sleep inside sim code

@@ -1,0 +1,17 @@
+"""DGF002 negative fixture: global / unseeded randomness."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.uniform(0.9, 1.1)  # line 9: global stream
+
+
+def make_generator():
+    return random.Random()  # line 13: bare construction, no substream
+
+
+def sample_sizes(count):
+    return np.random.lognormal(3.0, 1.0, count)  # line 17: numpy global

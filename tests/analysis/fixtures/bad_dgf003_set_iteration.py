@@ -1,0 +1,28 @@
+"""DGF003 negative fixture: effectful iteration over unordered sets."""
+
+from typing import Set
+
+
+class DomainSweeper:
+    def __init__(self):
+        self.down_domains: Set[str] = set()
+        self.restored = []
+
+    def restore_all(self, env):
+        for domain in self.down_domains:  # line 12: set order -> kernel
+            env.process(self.bring_up(domain))
+
+    def bring_up(self, domain):
+        yield None
+
+
+def drain(env, pending):
+    victims = {t for t in pending if t.stalled}
+    for transfer in victims:  # line 21: set order -> event scheduling
+        transfer.done.fail(RuntimeError("stalled"))
+
+
+def note_all(telemetry, names):
+    merged = set(names) | {"default"}
+    for name in merged:  # line 27: set order -> telemetry emission
+        telemetry.log.emit("seen", name=name)

@@ -1,0 +1,13 @@
+"""DGF004 negative fixture: exact equality on time/rate floats."""
+
+
+def is_done(env, projected_finish):
+    return env.now == projected_finish  # line 5: clock equality
+
+
+def rate_changed(old_rate, new_rate):
+    return old_rate != new_rate  # line 9: rate equality
+
+
+def same_deadline(a, b):
+    return a.deadline == b.start_time + b.duration  # line 13: derived time

@@ -1,0 +1,28 @@
+"""DGF005 negative fixture: retry-contract violations.
+
+This file stands in for a recovery-dispatch module; the test harness
+lints it with ``dispatch-paths`` matching its own path so the broad
+``except`` checks apply.
+"""
+
+
+class StorageTimeoutError(Exception):  # line 10: transient, not Retryable
+    pass
+
+
+class ReplicaUnavailableFailure(ValueError):  # line 14: same, via suffix
+    pass
+
+
+def fetch(dgms, path):
+    try:
+        return dgms.get(path)
+    except Exception:  # line 20: broad catch in a dispatch path
+        return None
+
+
+def fetch_again(dgms, path):
+    try:
+        return dgms.get(path)
+    except (KeyError, BaseException):  # line 27: BaseException in tuple
+        raise StorageTimeoutError("gave up")  # line 28: transient raise

@@ -1,0 +1,14 @@
+"""DGF006 negative fixture: unbounded metric label cardinality."""
+
+
+def record_access(telemetry, obj):
+    telemetry.reads.labels(path=obj.path).inc()  # line 5: raw path label
+
+
+def record_replica(telemetry, replica):
+    telemetry.replicas.labels(  # line 9: guid-derived label value
+        target=replica.guid).inc()
+
+
+def record_fetch(telemetry, source_url, kind):
+    telemetry.fetches.labels(kind=kind, url=source_url).inc()  # line 14

@@ -1,0 +1,15 @@
+"""DGF001 positive fixture: virtual-clock idiom, no host clock."""
+
+
+def stamp_record(env, record):
+    record["at"] = env.now
+    return record
+
+
+def nap_between_retries(env):
+    yield env.timeout(0.5)
+
+
+def format_timestamp(value):
+    # Talking *about* time is fine; only reading the host clock is not.
+    return f"t={value:.3f} s"

@@ -1,0 +1,22 @@
+"""DGF002 positive fixture: named substreams, rng passed in."""
+
+import random
+from typing import Optional
+
+from repro.sim.rng import RandomStreams
+
+
+def jitter(rng: random.Random) -> float:
+    # Annotating with random.Random is fine; only *constructing* or
+    # drawing from the global module is flagged.
+    return rng.uniform(0.9, 1.1)
+
+
+def make_generator(streams: RandomStreams):
+    return streams.stream("fixture/sizes")
+
+
+def sample_sizes(streams: RandomStreams, count: int,
+                 rng: Optional[random.Random] = None):
+    rng = rng if rng is not None else streams.stream("fixture/sizes")
+    return [rng.lognormvariate(3.0, 1.0) for _ in range(count)]

@@ -1,0 +1,32 @@
+"""DGF003 positive fixture: ordered iteration, or pure set loops."""
+
+from typing import Dict, Set
+
+
+class DomainSweeper:
+    def __init__(self):
+        # Dict-as-ordered-set: deterministic insertion-order iteration.
+        self.down_domains: Dict[str, None] = {}
+        self.restored = []
+
+    def restore_all(self, env):
+        for domain in self.down_domains:
+            env.process(self.bring_up(domain))
+
+    def bring_up(self, domain):
+        yield None
+
+
+def drain(env, pending):
+    victims = {t for t in pending if t.stalled}
+    for transfer in sorted(victims, key=lambda t: t.name):
+        transfer.done.fail(RuntimeError("stalled"))
+
+
+def membership_only(candidates: Set[str], name: str) -> bool:
+    # Pure reads of a set (membership, len, aggregation into a local)
+    # are order-insensitive and not flagged.
+    total = set()
+    for item in candidates:
+        total.add(item.lower())
+    return name in total

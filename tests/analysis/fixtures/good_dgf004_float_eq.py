@@ -1,0 +1,21 @@
+"""DGF004 positive fixture: tolerance comparisons and non-time equality."""
+
+import math
+
+
+def is_done(env, projected_finish):
+    # The simulation-model.md tolerance rule: a few ulps of slack.
+    return abs(env.now - projected_finish) <= 4 * math.ulp(env.now)
+
+
+def rate_changed(old_rate, new_rate, tolerance=1e-12):
+    return abs(old_rate - new_rate) > tolerance
+
+
+def same_state(execution, value):
+    # String/sentinel equality is not float arithmetic.
+    return execution.state == value and execution.kind == "transfer"
+
+
+def same_count(a, b):
+    return a.replica_count == b.replica_count

@@ -1,0 +1,24 @@
+"""DGF005 positive fixture: honest retry-contract usage."""
+
+from repro.errors import NamespaceError, Retryable, StorageError
+
+
+class StorageTimeoutFailure(StorageError, Retryable):
+    """Transient-sounding AND in the hierarchy: exactly right."""
+
+
+class OutageWindow:
+    """Transient-sounding but not an exception type: a schedule record."""
+
+    def __init__(self, begin, end):
+        self.begin = begin
+        self.end = end
+
+
+def fetch(dgms, path):
+    try:
+        return dgms.get(path)
+    except Retryable:
+        return None
+    except NamespaceError:
+        raise

@@ -1,0 +1,17 @@
+"""DGF006 positive fixture: closed-enum labels; identifiers in the log."""
+
+
+def record_access(telemetry, obj):
+    # Bounded label (a storage-class enum); the unbounded identifier
+    # goes to the event log, which is built for per-object records.
+    telemetry.reads.labels(storage_class=obj.storage_class).inc()
+    telemetry.log.emit("object.read", path=obj.path)
+
+
+def record_replica(telemetry, replica, outcome):
+    telemetry.replicas.labels(outcome=outcome).inc()
+    telemetry.log.emit("replica.placed", guid=replica.guid)
+
+
+def record_fetch(telemetry, kind):
+    telemetry.fetches.labels(kind=kind, scope="wan").inc()

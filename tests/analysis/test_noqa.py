@@ -1,0 +1,112 @@
+"""Suppression semantics: reasoned noqa only, everything else is a finding."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.config import LintConfig
+from repro.analysis.core import SUPPRESSION_CODE, SYNTAX_CODE
+
+CONFIG = LintConfig()
+
+
+def _lint(source):
+    return lint_source(textwrap.dedent(source), "unit.py", CONFIG)
+
+
+BAD_LINE = """\
+    import time
+
+    def stamp():
+        return time.time(){noqa}
+"""
+
+
+def test_reasoned_noqa_suppresses_and_records_the_reason():
+    findings, suppressions = _lint(BAD_LINE.format(
+        noqa="  # dgf: noqa[DGF001]: fixture exercising the wall clock"))
+    assert findings == []
+    assert len(suppressions) == 1
+    waiver = suppressions[0]
+    assert waiver.code == "DGF001"
+    assert waiver.reason == "fixture exercising the wall clock"
+    assert "time.time" in waiver.message
+
+
+def test_noqa_without_reason_leaves_finding_and_adds_dgf090():
+    findings, suppressions = _lint(BAD_LINE.format(
+        noqa="  # dgf: noqa[DGF001]"))
+    assert suppressions == []
+    codes = sorted(finding.code for finding in findings)
+    assert codes == ["DGF001", SUPPRESSION_CODE]
+
+
+def test_noqa_with_blank_reason_is_rejected_too():
+    findings, suppressions = _lint(BAD_LINE.format(
+        noqa="  # dgf: noqa[DGF001]:   "))
+    assert suppressions == []
+    assert SUPPRESSION_CODE in {finding.code for finding in findings}
+
+
+def test_noqa_for_a_different_code_does_not_suppress():
+    findings, suppressions = _lint(BAD_LINE.format(
+        noqa="  # dgf: noqa[DGF002]: wrong code entirely"))
+    assert suppressions == []
+    assert [finding.code for finding in findings] == ["DGF001"]
+
+
+def test_noqa_with_empty_brackets_is_a_finding():
+    findings, _ = _lint(BAD_LINE.format(
+        noqa="  # dgf: noqa[]: because reasons"))
+    assert SUPPRESSION_CODE in {finding.code for finding in findings}
+
+
+def test_malformed_marker_is_a_finding():
+    findings, _ = _lint("""\
+        # dgf: noqa please ignore this file
+        x = 1
+    """)
+    assert [finding.code for finding in findings] == [SUPPRESSION_CODE]
+
+
+def test_standalone_comment_suppresses_the_next_code_line():
+    findings, suppressions = _lint("""\
+        import time
+
+        def stamp():
+            # dgf: noqa[DGF001]: long line below, waiver rides above it
+            return time.time()
+    """)
+    assert findings == []
+    assert len(suppressions) == 1
+
+
+def test_one_noqa_can_waive_multiple_codes():
+    findings, suppressions = _lint("""\
+        import time, random
+
+        def stamp():
+            # dgf: noqa[DGF001, DGF002]: both intentional in this fixture
+            return time.time() + random.random()
+    """)
+    assert findings == []
+    assert sorted(s.code for s in suppressions) == ["DGF001", "DGF002"]
+
+
+def test_prose_mentions_of_the_marker_are_not_suppressions():
+    findings, suppressions = _lint('''\
+        import time
+
+        MESSAGE = "write dgf: noqa[DGF001]: reason to waive a finding"
+
+        def stamp():
+            """Docs may say dgf: noqa[DGF001]: reason without waiving."""
+            return time.time()
+    ''')
+    assert suppressions == []
+    assert [finding.code for finding in findings] == ["DGF001"]
+
+
+def test_unparsable_file_reports_syntax_finding():
+    findings, suppressions = _lint("def broken(:\n")
+    assert suppressions == []
+    assert [finding.code for finding in findings] == [SYNTAX_CODE]

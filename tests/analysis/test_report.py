@@ -1,0 +1,98 @@
+"""JSON report schema: round-trip, stability, and CI-facing semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_paths, load_config
+from repro.analysis.config import LintConfig, config_from_table
+from repro.analysis.core import Finding, Suppression
+from repro.analysis.report import SCHEMA_VERSION, Report, render_text
+from repro.errors import AnalysisError
+
+
+def _sample_report():
+    return Report(
+        findings=[Finding(code="DGF001", path="a.py", line=3, col=4,
+                          message="wall clock")],
+        suppressions=[Suppression(code="DGF004", path="b.py", line=7,
+                                  reason="intentional identity",
+                                  message="exact float comparison")],
+        files_scanned=2,
+        config_source="pyproject.toml",
+    )
+
+
+def test_report_round_trips_through_json():
+    report = _sample_report()
+    clone = Report.from_json(report.to_json())
+    assert clone.findings == report.findings
+    assert clone.suppressions == report.suppressions
+    assert clone.files_scanned == report.files_scanned
+    assert clone.config_source == report.config_source
+    # And the serialized documents agree byte-for-byte.
+    assert clone.to_json() == report.to_json()
+
+
+def test_report_document_has_the_stable_ci_keys():
+    document = json.loads(_sample_report().to_json())
+    assert document["tool"] == "dgflint"
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert document["summary"] == {"DGF001": 1}
+    assert document["ok"] is False
+    assert document["files_scanned"] == 2
+    # Rule catalog rides along so the artifact is self-describing.
+    assert "DGF001" in document["rules"]
+    assert document["rules"]["DGF001"]["name"] == "no-wall-clock"
+    assert document["suppressions"][0]["reason"] == "intentional identity"
+
+
+def test_exit_code_tracks_live_findings_only():
+    report = _sample_report()
+    assert report.exit_code == 1
+    clean = Report(suppressions=report.suppressions, files_scanned=2)
+    assert clean.ok and clean.exit_code == 0
+
+
+def test_from_dict_rejects_foreign_documents():
+    with pytest.raises(AnalysisError):
+        Report.from_dict({"tool": "flake8", "schema_version": SCHEMA_VERSION})
+    with pytest.raises(AnalysisError):
+        Report.from_dict({"tool": "dgflint", "schema_version": 99})
+
+
+def test_render_text_summarizes_counts_and_suppressions():
+    text = render_text(_sample_report(), verbose_suppressions=True)
+    assert "a.py:3:5: DGF001 wall clock" in text
+    assert "intentional identity" in text
+    assert "1 finding(s) [DGF001×1], 1 reasoned suppression(s)" in text
+
+
+def test_config_rejects_unknown_keys_and_bad_types():
+    with pytest.raises(AnalysisError):
+        config_from_table({"slect": ["DGF001"]})
+    with pytest.raises(AnalysisError):
+        config_from_table({"retryable": "Retryable"})
+
+
+def test_config_select_filters_rules(tmp_path):
+    victim = tmp_path / "victim.py"
+    victim.write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n",
+        encoding="utf-8")
+    everything = lint_paths([str(victim)], config=LintConfig())
+    assert {f.code for f in everything.findings} == {"DGF001"}
+    filtered = lint_paths([str(victim)],
+                          config=LintConfig(select=frozenset({"DGF002"})))
+    assert filtered.ok
+
+
+def test_load_config_reads_tool_table(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        '[tool.dgflint]\nselect = ["DGF001"]\nretryable = ["Retryable"]\n',
+        encoding="utf-8")
+    config = load_config([str(tmp_path)])
+    assert config.select == frozenset({"DGF001"})
+    assert config.retryable == ("Retryable",)
+    assert config.source == str(pyproject)

@@ -1,0 +1,69 @@
+"""Meta-test: the committed tree satisfies its own determinism contract.
+
+This is the test-suite twin of the CI lint gate: ``repro lint src/``
+must exit 0 on the tree as committed, with every suppression carrying a
+reason. If this fails, either a contract violation slipped in or a rule
+regressed — both block the merge.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths, load_config
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_tree_is_lint_clean():
+    config = load_config([str(SRC)])
+    assert config.source == str(REPO_ROOT / "pyproject.toml")
+    report = lint_paths([str(SRC)], config=config)
+    assert report.files_scanned > 80, "lint did not actually walk src/"
+    assert report.ok, "contract violations in src/:\n" + "\n".join(
+        f"{f.path}:{f.line}: {f.code} {f.message}"
+        for f in report.findings)
+
+
+def test_every_suppression_in_src_is_explained():
+    report = lint_paths([str(SRC)], config=load_config([str(SRC)]))
+    assert report.suppressions, (
+        "expected the tree's known intentional waivers (e.g. the "
+        "transfer engine's exact-identity comparisons) to be present")
+    for waiver in report.suppressions:
+        assert len(waiver.reason) >= 15, (
+            f"{waiver.path}:{waiver.line} suppression reason too thin: "
+            f"{waiver.reason!r}")
+
+
+def test_cli_lint_subcommand_exits_zero_on_src(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = main(["lint", str(SRC), "--format", "json", "-o", str(out)])
+    assert code == 0
+    document = json.loads(out.read_text(encoding="utf-8"))
+    assert document["tool"] == "dgflint"
+    assert document["ok"] is True
+    assert document["findings"] == []
+
+
+def test_cli_lint_reports_violations_with_exit_one(tmp_path, capsys):
+    victim = tmp_path / "victim.py"
+    victim.write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n",
+        encoding="utf-8")
+    code = main(["lint", str(victim), "--config",
+                 str(REPO_ROOT / "pyproject.toml")])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "DGF001" in captured.out
+
+
+def test_cli_lint_select_narrows_the_rule_pack(tmp_path, capsys):
+    victim = tmp_path / "victim.py"
+    victim.write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n",
+        encoding="utf-8")
+    code = main(["lint", str(victim), "--select", "DGF002", "--config",
+                 str(REPO_ROOT / "pyproject.toml")])
+    assert code == 0
