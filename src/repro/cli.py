@@ -14,7 +14,10 @@ Operator-facing utilities over DGL documents and the simulated grid:
   and/or JSONL);
 * ``lint``      — run dgflint, the determinism-contract linter
   (:mod:`repro.analysis`), over a source tree and emit a text or JSON
-  report.
+  report;
+* ``farm``      — fan the seeded chaos sweep across all cores with the
+  :mod:`repro.farm` runner and print per-seed invariant results,
+  signatures, and sweep throughput.
 
 Exposed as the ``datagridflow`` and ``repro`` console scripts (see
 ``pyproject.toml``) and runnable as ``python -m repro.cli``.
@@ -268,6 +271,72 @@ def _cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _parse_seeds(raw: str) -> list:
+    """``"20"`` means seeds 0..19; ``"3,7,11"`` means exactly those."""
+    if "," in raw:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    return list(range(int(raw)))
+
+
+def _cmd_farm(args) -> int:
+    import hashlib
+    import json
+    import time
+
+    from repro.farm import default_jobs, run_farm
+    from repro.workloads.chaos import run_chaos
+
+    seeds = _parse_seeds(args.seeds)
+    jobs = args.jobs if args.jobs else default_jobs()
+    # Wall clock, deliberately: the farm is host-side tooling reporting
+    # real sweep throughput; nothing below feeds back into any simulation.
+    started = time.perf_counter()  # dgf: noqa[DGF001]: farm orchestration is host-side, not sim code — this measures real seeds/sec and never touches a kernel clock
+    reports = run_farm(run_chaos, seeds, jobs=jobs)
+    elapsed = time.perf_counter() - started  # dgf: noqa[DGF001]: same wall-clock throughput measurement as above
+
+    rows = []
+    failures = 0
+    for report in reports:
+        digest = hashlib.sha256(
+            repr(report.signature).encode()).hexdigest()[:12]
+        if not report.ok:
+            failures += 1
+        rows.append((report.seed, f"{report.makespan:.2f}",
+                     report.faults_begun, report.restarts,
+                     sum(report.recovery_actions.values()),
+                     "ok" if report.ok else "VIOLATED", digest))
+    header = ("seed", "makespan_s", "faults", "restarts", "actions",
+              "invariants", "signature")
+    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+              for i in range(len(header))] if rows else [len(h) for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    rate = len(seeds) / elapsed if elapsed else float("inf")
+    print(f"{len(seeds)} seeds on {jobs} worker(s) in {elapsed:.2f} s "
+          f"({rate:.2f} seeds/s); {failures} invariant failure(s)")
+    for report in reports:
+        for violation in report.violations:
+            print(f"  seed {report.seed}: {violation}", file=sys.stderr)
+    if args.json is not None:
+        payload = {
+            "seeds": seeds, "jobs": jobs, "elapsed_s": round(elapsed, 3),
+            "seeds_per_s": round(rate, 3),
+            "reports": [{
+                "seed": report.seed, "ok": report.ok,
+                "makespan_s": report.makespan,
+                "faults_begun": report.faults_begun,
+                "restarts": report.restarts,
+                "recovery_actions": report.recovery_actions,
+                "signature_sha256": hashlib.sha256(
+                    repr(report.signature).encode()).hexdigest(),
+                "violations": report.violations,
+            } for report in reports],
+        }
+        _write(args.json, json.dumps(payload, indent=2))
+    return 1 if failures else 0
+
+
 # -- entry point ------------------------------------------------------------
 
 
@@ -345,6 +414,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--show-suppressed", action="store_true",
                       help="also list reasoned suppressions (text format)")
     lint.set_defaults(handler=_cmd_lint)
+
+    farm = commands.add_parser(
+        "farm",
+        help="fan the seeded chaos sweep across cores (repro.farm)")
+    farm.add_argument("--seeds", default="20",
+                      help="a count ('20' = seeds 0..19) or an explicit "
+                           "comma-separated seed list (default: 20)")
+    farm.add_argument("--jobs", type=int, default=0,
+                      help="worker processes (default: all usable cores; "
+                           "1 = run serially in-process)")
+    farm.add_argument("--json", default=None,
+                      help="also write a JSON report here ('-' = stdout)")
+    farm.set_defaults(handler=_cmd_farm)
 
     return parser
 

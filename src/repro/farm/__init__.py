@@ -1,0 +1,29 @@
+"""Seed farm: fan deterministic per-seed runs across all cores.
+
+Every sweep in this repository — the 20-seed chaos invariant sweep, the
+benchmark seed matrices, parameter grids — is a map of one pure function
+over a seed list. Each run is bit-reproducible from its seed (guarded by
+dgflint and ``run_signature``), shares nothing with its neighbours, and
+reports a picklable result, which makes the whole shape embarrassingly
+parallel. This package is the one runner all of those sweeps go through:
+
+* :func:`run_farm` — map a task over items on a process pool, with
+  deterministic result ordering and worker-crash surfacing;
+* :func:`default_jobs` — how many workers this host can usefully run;
+* :class:`FarmWorkerError` — a task failure, re-raised in the parent
+  with the worker's full traceback and the offending item;
+* ``repro farm`` (see :mod:`repro.cli`) — the operator entry point.
+
+Determinism contract: ``run_farm(task, items)`` returns exactly
+``[task(item) for item in items]`` — same values, same order — no matter
+how many workers ran or how they interleaved. ``tests/test_farm.py``
+holds the runner to that byte-for-byte.
+"""
+
+from repro.farm.runner import (
+    FarmWorkerError,
+    default_jobs,
+    run_farm,
+)
+
+__all__ = ["FarmWorkerError", "default_jobs", "run_farm"]

@@ -1,0 +1,160 @@
+"""The multiprocess farm runner.
+
+One deliberately small primitive: :func:`run_farm` maps a picklable task
+over a list of items on a process pool and returns the results *in item
+order*, as if a plain list comprehension had run — except wall-clock time
+divides by the worker count. Everything else (which sweeps exist, what a
+task computes) lives with the callers.
+
+Why processes and not threads: a seed run is pure Python burning CPU in
+the sim kernel, so threads serialize on the GIL. Fork-based processes
+give each seed its own interpreter; results come back by pickle.
+
+Failure surfacing: a task that raises inside a worker does not vanish
+into a half-filled result list. The worker catches it, pickles the full
+traceback text home, and the parent raises :class:`FarmWorkerError`
+naming the item, its index, and the remote traceback. A worker that dies
+without even reporting (segfault, OOM kill) surfaces the same way, with
+the pool's diagnosis attached as the cause.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["FarmWorkerError", "default_jobs", "run_farm"]
+
+
+class FarmWorkerError(ReproError):
+    """A farm task failed (or its worker died) on one item.
+
+    ``item`` and ``index`` identify the failing unit of work — for a seed
+    sweep, the seed to replay serially — and ``worker_traceback`` carries
+    the traceback text from inside the worker process, since the original
+    exception's own traceback cannot cross the process boundary.
+    """
+
+    def __init__(self, message: str, item: Any = None, index: int = -1,
+                 worker_traceback: str = "") -> None:
+        super().__init__(message)
+        self.item = item
+        self.index = index
+        self.worker_traceback = worker_traceback
+
+
+def default_jobs() -> int:
+    """Worker count for this host: the CPUs this process may run on.
+
+    Respects CPU affinity (a containerized runner often sees fewer cores
+    than the machine has) and the ``REPRO_FARM_JOBS`` environment
+    variable, which overrides everything — CI smoke jobs pin it to keep
+    runs comparable.
+    """
+    override = os.environ.get("REPRO_FARM_JOBS")
+    if override:
+        return max(1, int(override))
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+def _run_task(payload) -> tuple:
+    """Worker-side shim: run one task and make the outcome picklable.
+
+    Returns ``(True, result)`` or ``(False, (exc_repr, traceback_text))``
+    — never raises, so a Python-level task failure cannot take the pool
+    down or reorder the surviving results.
+    """
+    task, item, kwargs = payload
+    try:
+        return (True, task(item, **kwargs))
+    except BaseException as exc:
+        return (False, (repr(exc), traceback.format_exc()))
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits imports); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def run_farm(task: Callable[..., Any], items: Iterable[Any],
+             jobs: Optional[int] = None, kwargs: Optional[dict] = None,
+             ) -> List[Any]:
+    """Map ``task`` over ``items`` on a process pool; results in item order.
+
+    Parameters
+    ----------
+    task:
+        A picklable (module-level) callable; invoked as
+        ``task(item, **kwargs)`` in a worker process.
+    items:
+        The work list. Result ``i`` is always ``task(items[i])`` — worker
+        scheduling never reorders or drops results.
+    jobs:
+        Worker count. ``None`` means :func:`default_jobs`; ``1`` runs the
+        tasks inline in this process (no pool, no pickling) — the serial
+        reference the parallel path must match byte-for-byte.
+    kwargs:
+        Extra keyword arguments forwarded to every task call.
+
+    Raises
+    ------
+    FarmWorkerError
+        If any task raised or any worker died. The first failing item (in
+        item order, not completion order) wins, so the error is itself
+        deterministic.
+    """
+    items = list(items)
+    kwargs = kwargs or {}
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ReproError(f"farm needs at least one worker, got jobs={jobs}")
+    if jobs == 1 or len(items) <= 1:
+        results = []
+        for index, item in enumerate(items):
+            ok, value = _run_task((task, item, kwargs))
+            if not ok:
+                exc_repr, text = value
+                raise FarmWorkerError(
+                    f"farm task failed on item {item!r} (index {index}): "
+                    f"{exc_repr}", item=item, index=index,
+                    worker_traceback=text)
+            results.append(value)
+        return results
+
+    payloads = [(task, item, kwargs) for item in items]
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_mp_context()) as pool:
+        futures = [pool.submit(_run_task, payload) for payload in payloads]
+        outcomes = []
+        for index, future in enumerate(futures):
+            try:
+                outcomes.append(future.result())
+            except BaseException as exc:
+                # The worker died without reporting (hard crash) or the
+                # pool broke. Surface which item was running, keep the
+                # pool's diagnosis as the cause.
+                raise FarmWorkerError(
+                    f"farm worker died on item {items[index]!r} "
+                    f"(index {index}): {exc!r}", item=items[index],
+                    index=index) from exc
+    for index, (ok, value) in enumerate(outcomes):
+        if not ok:
+            exc_repr, text = value
+            raise FarmWorkerError(
+                f"farm task failed on item {items[index]!r} "
+                f"(index {index}): {exc_repr}", item=items[index],
+                index=index, worker_traceback=text)
+    return [value for _, value in outcomes]

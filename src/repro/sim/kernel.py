@@ -7,7 +7,7 @@ milliseconds of wall time.
 
 The design is a compact generator-based process simulator:
 
-* :class:`Environment` owns the virtual clock and the event heap.
+* :class:`Environment` owns the virtual clock and the event queues.
 * :class:`Event` is a one-shot occurrence; callbacks run when it triggers.
 * :class:`Process` wraps a generator. The generator *yields* events (for
   example :meth:`Environment.timeout`) and is resumed when they trigger.
@@ -18,11 +18,34 @@ The design is a compact generator-based process simulator:
 Processes may be interrupted (:meth:`Process.interrupt`), which raises
 :class:`repro.errors.Interrupt` inside the generator; this is how the DfMS
 implements stop/pause of long-run flows.
+
+Dispatch structure
+------------------
+
+The kernel is the floor under every benchmark in the repository, so the
+hot path is organized around *batch-draining one timestamp at a time*
+through three scheduling lanes (see ``docs/simulation-model.md``):
+
+* ``_queue`` — a heap of *future* events ``(time, priority, eid, event)``;
+* ``_current`` — a FIFO of events scheduled at exactly the current
+  timestamp (``delay == 0`` cascades: process starts, ``succeed()``
+  wake-ups, completions). These never pay heap cost: within a timestamp
+  every heap entry predates every ``_current`` entry, so FIFO order *is*
+  ``eid`` order;
+* ``_urgent`` — a FIFO of priority-0 events (interrupts), drained before
+  anything else at the current timestamp.
+
+Observable event ordering is identical to a single heap ordered by
+``(time, priority, eid)`` — ``benchmarks/test_e22_kernel.py`` checks this
+against the frozen pre-batching kernel — but a same-time cascade costs
+two deque operations instead of two ``O(log n)`` heap operations, and the
+stale-entry sweep runs once per timestamp instead of twice per event.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import Interrupt, SimError, SimStopped
@@ -46,6 +69,12 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
+    #: Only :class:`Timeout` can leave superseded entries in the heap
+    #: (cancel/reschedule), so the dispatch loop checks ``_when`` only on
+    #: classes that flip this class attribute — every other event skips
+    #: the staleness test entirely.
+    _maybe_stale = False
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -83,11 +112,16 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        # Inlined Environment._schedule for the (delay=0, priority=1) case:
+        # a succeed is always a current-timestamp, normal-priority schedule,
+        # and this is the single hottest call site in the repository.
+        env = self.env
+        env._eid += 1
+        env._current.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -97,13 +131,16 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise SimError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
         #: set by waiters to acknowledge the failure was handled
         self.defused = False
-        self.env._schedule(self)
+        # Inlined _schedule, same (delay=0, priority=1) case as succeed().
+        env = self.env
+        env._eid += 1
+        env._current.append(self)
         return self
 
     def __repr__(self) -> str:
@@ -128,6 +165,8 @@ class Timeout(Event):
 
     __slots__ = ("delay", "_when")
 
+    _maybe_stale = True
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimError(f"negative timeout delay: {delay!r}")
@@ -148,13 +187,30 @@ class Timeout(Event):
         return self._when is None
 
     def cancel(self) -> None:
-        """Prevent the timeout from firing; its heap entry dies lazily."""
+        """Prevent the timeout from firing; its heap entry dies lazily.
+
+        Cancelling an already-cancelled timeout is a no-op (the timeout
+        simply stays cancelled); cancelling a *processed* timeout is an
+        error. A cancelled timeout is not dead for good — see
+        :meth:`reschedule`, which may revive it.
+        """
         if self.processed:
             raise SimError("cannot cancel an already-processed timeout")
         self._when = None
 
     def reschedule(self, delay: float) -> None:
-        """Move a pending timeout to ``delay`` seconds from now."""
+        """Move a pending timeout to ``delay`` seconds from now.
+
+        **Contract:** rescheduling a *cancelled* timeout is legal and
+        revives it — the timeout becomes pending again and fires ``delay``
+        seconds from the current time. Cancel-then-reschedule is exactly
+        how a service parks and later re-arms one persistent timer (the
+        network engine's finish timer does this), so revival is part of
+        the contract rather than an accident. The sequence
+        ``reschedule()`` then :meth:`cancel` leaves the timeout cancelled:
+        the *last* call wins. Only a timeout whose callbacks have already
+        run (``processed``) is truly final; both methods reject it.
+        """
         if self.processed:
             raise SimError("cannot reschedule an already-processed timeout")
         if delay < 0:
@@ -209,7 +265,9 @@ class Process(Event):
         """Raise :class:`Interrupt` inside the process at the current time.
 
         Interrupting a dead process is an error; interrupting a process from
-        itself is not allowed.
+        itself is not allowed. The interrupt event is scheduled at priority
+        0, so it runs before every same-time priority-1 event — the kernel
+        keeps these on a dedicated urgent FIFO rather than the heap.
         """
         if not self.is_alive:
             raise SimError("cannot interrupt a finished process")
@@ -230,66 +288,73 @@ class Process(Event):
         event.callbacks.append(self._resume)
         self.env._schedule(event, priority=0)
 
+    def _finalize(self, ok: bool, value: Any) -> None:
+        """Record the generator's outcome and schedule the completion event.
+
+        One shared exit path for every way a process can end (return,
+        escape exception, non-event yield): sets the outcome, schedules
+        this process-as-event, and stashes the lifetime sample when a
+        telemetry session is attached — via the environment's hoisted
+        ``_lifetimes`` list, so a detached run pays a single attribute
+        load here and nothing per event anywhere else.
+        """
+        self._ok = ok
+        self._value = value
+        if not ok:
+            self.defused = False
+        env = self.env
+        # Inlined _schedule (delay=0, priority=1): completions always fire
+        # on the current timestamp at normal priority.
+        env._eid += 1
+        env._current.append(self)
+        lifetimes = env._lifetimes
+        if lifetimes is not None:
+            now = env._now
+            lifetimes.append((now, now - self._spawned_at))
+
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event is None or event._ok:
-                    value = None if event is None else event._value
-                    target = self._generator.send(value)
+                    target = generator.send(
+                        None if event is None else event._value)
                 else:
                     # Mark the failure as handled; we re-raise it inside
                     # the generator, which may catch it.
                     event.defused = True
-                    target = self._generator.throw(event._value)
+                    target = generator.throw(event._value)
             except StopIteration as stop:
-                self._ok = True
-                self._value = stop.value
-                self.env._schedule(self)
-                t = self.env.telemetry
-                if t is not None:
-                    now = self.env._now
-                    t.sim_process_lifetimes.append(
-                        (now, now - self._spawned_at))
+                self._finalize(True, stop.value)
                 break
             except BaseException as exc:
-                self._ok = False
-                self._value = exc
-                self.defused = False
-                self.env._schedule(self)
-                t = self.env.telemetry
-                if t is not None:
-                    now = self.env._now
-                    t.sim_process_lifetimes.append(
-                        (now, now - self._spawned_at))
+                self._finalize(False, exc)
                 break
 
-            if not isinstance(target, Event):
-                exc = SimError(f"process yielded a non-event: {target!r}")
-                event = None
-                try:
-                    self._generator.throw(exc)
-                except StopIteration as stop:
-                    self._ok = True
-                    self._value = stop.value
-                    self.env._schedule(self)
-                except BaseException as exc2:
-                    self._ok = False
-                    self._value = exc2
-                    self.defused = False
-                    self.env._schedule(self)
-                break
+            if isinstance(target, Event):
+                callbacks = target.callbacks
+                if callbacks is not None:
+                    # Target not yet processed: subscribe and suspend.
+                    callbacks.append(self._resume)
+                    self._target = target
+                    break
+                # Target already processed: continue immediately.
+                event = target
+                continue
 
-            if target.callbacks is not None:
-                # Target not yet processed: subscribe and suspend.
-                target.callbacks.append(self._resume)
-                self._target = target
-                break
-            # Target already processed: continue immediately with its value.
-            event = target
+            exc = SimError(f"process yielded a non-event: {target!r}")
+            try:
+                generator.throw(exc)
+            except StopIteration as stop:
+                self._finalize(True, stop.value)
+            except BaseException as exc2:
+                self._finalize(False, exc2)
+            break
 
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Condition(Event):
@@ -298,31 +363,45 @@ class Condition(Event):
     Use :meth:`Environment.all_of` / :meth:`Environment.any_of` rather than
     constructing directly. The value is a dict mapping each *triggered* child
     event to its value, in trigger order.
+
+    For the two shipped evaluators (:func:`_all_events` / :func:`_any_event`)
+    the per-child bookkeeping is a plain countdown against a precomputed
+    target — no evaluator call, no ``len()``, and no final dict copy (once
+    triggered, ``_check`` never touches ``_results`` again, so handing out
+    the accumulating dict itself is safe). A custom evaluator still gets the
+    generic call-per-child path and a defensive copy.
     """
 
-    __slots__ = ("_events", "_evaluate", "_done", "_results")
+    __slots__ = ("_events", "_evaluate", "_needed", "_done", "_results")
 
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[int, int], bool]) -> None:
         super().__init__(env)
-        self._events = list(events)
+        events = list(events)
+        self._events = events
         self._evaluate = evaluate
         self._done = 0
         self._results: dict = {}
-        for event in self._events:
+        if evaluate is _all_events:
+            self._needed: Optional[int] = len(events)
+        elif evaluate is _any_event:
+            self._needed = 1
+        else:
+            self._needed = None
+        for event in events:
             if event.env is not env:
                 raise SimError("condition mixes events from different environments")
-        if not self._events:
+        if not events:
             self.succeed({})
             return
-        for event in self._events:
+        for event in events:
             if event.callbacks is None:
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             # The condition already resolved without this child (e.g. an
             # any_of raced it). Nobody will ever inspect the child's
             # outcome now, so a late failure must be marked handled here —
@@ -331,13 +410,18 @@ class Condition(Event):
             if not event._ok:
                 event.defused = True
             return
-        self._done += 1
         if not event._ok:
             event.defused = True
             self.fail(event._value)
             return
         self._results[event] = event._value
-        if self._evaluate(len(self._events), self._done):
+        done = self._done + 1
+        self._done = done
+        needed = self._needed
+        if needed is not None:
+            if done >= needed:
+                self.succeed(self._results)
+        elif self._evaluate(len(self._events), done):
             self.succeed(dict(self._results))
 
 
@@ -350,7 +434,7 @@ def _any_event(total: int, done: int) -> bool:
 
 
 class Environment:
-    """The simulation environment: virtual clock plus event heap.
+    """The simulation environment: virtual clock plus event queues.
 
     Parameters
     ----------
@@ -358,15 +442,33 @@ class Environment:
         Starting value of the virtual clock, in seconds.
     """
 
+    # Slots for the same reason events have them: ``_eid``, ``_current``
+    # and ``_now`` are read/written once per scheduled event, and slot
+    # access skips the instance-dict lookup on every one of those.
+    __slots__ = ("_now", "_queue", "_current", "_urgent", "_eid",
+                 "_active_process", "_telemetry", "_lifetimes",
+                 "__weakref__")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
+        #: Future events: a heap of ``(time, priority, eid, event)``.
         self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Priority-1 events scheduled at exactly the current timestamp
+        #: (``delay == 0`` cascades). FIFO order equals eid order because
+        #: within one timestamp every heap entry predates every entry
+        #: here — see ``_step_batch``.
+        self._current: deque = deque()
+        #: Priority-0 events (interrupts) at the current timestamp; always
+        #: drained before ``_current`` and same-time heap entries.
+        self._urgent: deque = deque()
         self._eid = 0
         self._active_process: Optional[Process] = None
-        #: Attached :class:`~repro.telemetry.core.Telemetry` session, or
-        #: None (the default). The kernel and every subsystem holding this
-        #: environment guard their instrumentation on this attribute.
-        self.telemetry = None
+        self._telemetry = None
+        #: Hoisted fast-path alias: the attached session's raw process
+        #: lifetime sample list, or None when detached. ``Process._finalize``
+        #: reads only this, so a telemetry-off run never touches the
+        #: session object on the hot path.
+        self._lifetimes: Optional[list] = None
 
     # -- clock ------------------------------------------------------------
 
@@ -379,6 +481,22 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def telemetry(self):
+        """Attached :class:`~repro.telemetry.core.Telemetry` session, or
+        None (the default). The kernel and every subsystem holding this
+        environment guard their instrumentation on this attribute."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, session) -> None:
+        self._telemetry = session
+        # Hoist the per-event "is telemetry attached" decision to attach
+        # time: the kernel's only instrumentation point (process lifetime
+        # samples in Process._finalize) goes through this alias.
+        self._lifetimes = (None if session is None
+                           else session.sim_process_lifetimes)
 
     # -- event construction -------------------------------------------------
 
@@ -407,40 +525,123 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         # Deliberately no telemetry here: this is the hottest line in the
         # repository. Telemetry.collect derives scheduled/fired counts
-        # from _eid and the queue length instead.
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
-        self._eid += 1
+        # from _eid and the lane lengths instead.
+        #
+        # Three lanes. Future events go to the heap; a delay-0 event (or a
+        # delay so small that now + delay == now in float arithmetic — it
+        # must not jump ahead of earlier same-time heap entries) lands on
+        # the current-timestamp FIFO; priority-0 interrupts land on the
+        # urgent FIFO. The eid counter still advances for every lane so
+        # heap ordering and telemetry's push count stay exact.
+        eid = self._eid
+        self._eid = eid + 1
+        if delay:
+            time = self._now + delay
+            if time > self._now:
+                heappush(self._queue, (time, priority, eid, event))
+                return
+        if priority:
+            self._current.append(event)
+        else:
+            self._urgent.append(event)
 
     def _skip_stale(self) -> None:
         """Drop stale heap entries (cancelled/rescheduled timeouts) from the
         head of the queue without running callbacks or advancing the clock."""
         queue = self._queue
         while queue:
-            time, _, _, event = queue[0]
-            if event.callbacks is None or getattr(event, "_when", time) != time:  # dgf: noqa[DGF004]: intentional exact identity — a rescheduled timeout's _when either is this entry's float bit-for-bit or the entry is stale
+            head = queue[0]
+            event = head[3]
+            if event.callbacks is None or (
+                    event._maybe_stale and event._when != head[0]):  # dgf: noqa[DGF004]: intentional exact identity — a rescheduled timeout's _when either is this entry's float bit-for-bit or the entry is stale
                 # Already processed (a reschedule duplicate), or a timeout
                 # whose valid fire time moved away from this entry.
-                heapq.heappop(queue)
+                heappop(queue)
             else:
                 return
 
+    def _step_batch(self) -> bool:
+        """Process every live event at the next timestamp; False if none.
+
+        This is the kernel hot loop. One stale sweep and one clock write
+        per timestamp, then a drain that interleaves the three lanes in
+        exact ``(time, priority, eid)`` order: urgent first (priority 0),
+        then same-time heap entries (older eids — they all predate this
+        timestamp), then the current-timestamp FIFO, which also absorbs
+        everything callbacks schedule at the running timestamp so a
+        same-time cascade completes within its batch.
+        """
+        urgent = self._urgent
+        current = self._current
+        queue = self._queue
+        if not urgent and not current:
+            self._skip_stale()
+            if not queue:
+                return False
+            self._now = queue[0][0]
+        now = self._now
+        pop_urgent = urgent.popleft
+        pop_current = current.popleft
+        # Phase 1: drain the urgent FIFO and the heap's same-time entries.
+        # Heap entries at ``now`` all predate this batch (older eids than
+        # anything in ``current``), and no *new* heap entry can land at
+        # ``now`` while the batch runs — _schedule routes every same-time
+        # schedule to a FIFO — so once the heap head moves past ``now``
+        # phase 2 never has to peek at the heap again.
+        while True:
+            if urgent:
+                event = pop_urgent()
+            elif queue and queue[0][0] == now:  # dgf: noqa[DGF004]: intentional exact identity — batch membership is "this entry's scheduled float is bit-for-bit the batch time"
+                event = heappop(queue)[3]
+            else:
+                break
+            callbacks = event.callbacks
+            if callbacks is None or (
+                    event._maybe_stale and event._when != now):  # dgf: noqa[DGF004]: intentional exact identity — same staleness contract as _skip_stale
+                continue
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not getattr(event, "defused", True):
+                # An un-waited-for failure: surface it instead of losing it.
+                raise event._value
+        # Phase 2: drain the current-timestamp FIFO, which also absorbs
+        # everything callbacks keep scheduling at ``now``; a callback may
+        # still raise an interrupt, so the urgent lane stays first.
+        while True:
+            if urgent:
+                event = pop_urgent()
+            elif current:
+                event = pop_current()
+            else:
+                return True
+            callbacks = event.callbacks
+            if callbacks is None or (
+                    event._maybe_stale and event._when != now):  # dgf: noqa[DGF004]: intentional exact identity — same staleness contract as _skip_stale
+                continue
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not getattr(event, "defused", True):
+                raise event._value
+
     def peek(self) -> float:
         """Time of the next live scheduled event, or ``inf`` if none."""
+        if self._urgent or self._current:
+            return self._now
         self._skip_stale()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the single next live event."""
-        self._skip_stale()
-        if not self._queue:
+        """Process the next timestamp's batch of live events.
+
+        Since the batched rewrite this dispatches *every* event sharing
+        the next timestamp (including ones its callbacks schedule at that
+        same timestamp), not a single event: "one step" is one clock
+        value. Raises :class:`SimStopped` when nothing live remains.
+        """
+        if not self._step_batch():
             raise SimStopped("no more events")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not getattr(event, "defused", True):
-            # An un-waited-for failure: surface it instead of losing it.
-            raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains, or until virtual time ``until``.
@@ -452,21 +653,32 @@ class Environment:
             if until < self._now:
                 raise SimError(f"until={until} is in the past (now={self._now})")
             while self.peek() <= until:
-                self.step()
+                self._step_batch()
             self._now = float(until)
             return
-        while self._queue:
-            self._skip_stale()
-            if not self._queue:
-                break
-            self.step()
+        step = self._step_batch
+        while step():
+            pass
 
     def run_process(self, generator: Generator) -> Any:
         """Convenience: start ``generator`` as a process, run to completion,
-        and return its result (raising if the process failed)."""
+        and return its result (raising if the process failed).
+
+        If the event queue drains while the process is still alive, the
+        process is deadlocked — suspended on an event nothing will ever
+        trigger — and a :class:`SimError` naming the stuck generator is
+        raised instead of an opaque "no more events".
+        """
         proc = self.process(generator)
+        step = self._step_batch
         while proc.is_alive:
-            self.step()
+            if not step():
+                name = getattr(proc._generator, "__name__", None) or repr(proc)
+                raise SimError(
+                    f"simulation deadlocked: event queue drained at "
+                    f"t={self._now} while process {name!r} (spawned at "
+                    f"t={proc._spawned_at}) is still waiting on "
+                    f"{proc._target!r}")
         if not proc._ok:
             # We are the waiter: mark the failure handled so the pending
             # completion event does not re-raise on a later step()/run().

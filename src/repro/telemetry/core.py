@@ -44,7 +44,7 @@ class Telemetry:
         #: Kernel event id and heap length at attach time; collect()
         #: subtracts these so counts start at zero per session.
         self._eid_at_attach = env._eid
-        self._queued_at_attach = len(env._queue)
+        self._queued_at_attach = self._queued()
         metric = self.metrics
         #: Completed process (sim_time, lifetime_seconds) pairs. This IS
         #: the lifetime histogram's raw sample list: the kernel appends
@@ -134,9 +134,15 @@ class Telemetry:
 
     # -- sim kernel (derived) ------------------------------------------------
 
+    def _queued(self) -> int:
+        """Events waiting in any of the kernel's three scheduling lanes
+        (future heap, current-timestamp FIFO, urgent FIFO)."""
+        env = self.env
+        return (len(env._queue) + len(env._current) + len(env._urgent))
+
     @property
     def sim_scheduled(self) -> int:
-        """Events pushed onto the kernel heap since attach.
+        """Events scheduled onto the kernel's lanes since attach.
 
         The kernel's monotonic event id *is* a push counter, so this
         costs the kernel nothing per event.
@@ -150,8 +156,7 @@ class Telemetry:
         Pops = pushes minus what is still queued (events queued before
         attach and fired after count as fired, hence the baseline).
         """
-        return self.sim_scheduled - (len(self.env._queue) -
-                                     self._queued_at_attach)
+        return self.sim_scheduled - (self._queued() - self._queued_at_attach)
 
     # -- engine event bus ----------------------------------------------------
 
@@ -241,15 +246,15 @@ class Telemetry:
         metric = self.metrics
         metric.counter(
             "sim_events_scheduled_total",
-            "Events pushed onto the kernel heap").value = float(
+            "Events scheduled onto the kernel's lanes").value = float(
                 self.sim_scheduled)
         metric.counter(
             "sim_events_fired_total",
             "Events popped and processed").value = float(self.sim_fired)
         metric.gauge(
             "sim_queue_depth",
-            "Events waiting on the kernel heap right now").value = float(
-                len(self.env._queue))
+            "Events waiting on the kernel's lanes right now").value = float(
+                self._queued())
         for instrument in metric.metrics():
             if instrument.kind == "histogram":
                 for _, series in instrument.series():

@@ -4,6 +4,7 @@ from repro.workloads.chaos import (
     ChaosReport,
     default_chaos_seeds,
     run_chaos,
+    run_chaos_sweep,
     run_signature,
 )
 from repro.workloads.generators import (
@@ -27,5 +28,6 @@ __all__ = [
     "sleep_bag_flow", "sleep_chain_flow", "random_task_graph",
     "Scenario", "bbsrc_scenario", "cms_scenario", "scec_scenario",
     "ucsd_library_scenario",
-    "ChaosReport", "run_chaos", "run_signature", "default_chaos_seeds",
+    "ChaosReport", "run_chaos", "run_chaos_sweep", "run_signature",
+    "default_chaos_seeds",
 ]

@@ -43,8 +43,8 @@ from repro.storage import MB
 from repro.telemetry.instrument import instrument_scenario
 from repro.workloads.scenarios import Scenario, cms_scenario
 
-__all__ = ["ChaosReport", "run_chaos", "run_signature", "CHAOS_POLICY",
-           "default_chaos_seeds"]
+__all__ = ["ChaosReport", "run_chaos", "run_chaos_sweep", "run_signature",
+           "CHAOS_POLICY", "default_chaos_seeds"]
 
 #: Generous budget: a chaos outage can hold a resource down for a fifth
 #: of the horizon, so retries must be able to outwait the longest window
@@ -318,3 +318,28 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
     report.violations = _check_invariants(scenario, driver, service,
                                           supervisor)
     return report
+
+
+def run_chaos_sweep(seeds: Optional[List[int]] = None,
+                    jobs: Optional[int] = None,
+                    **kwargs) -> List[ChaosReport]:
+    """The chaos sweep: :func:`run_chaos` for every seed, farmed out.
+
+    This is the parallel face of the invariant suite. Each seed's run is
+    fully determined by the seed (bit-identity is what the chaos suite
+    *checks*), shares nothing with other seeds, and a
+    :class:`~repro.workloads.chaos.ChaosReport` pickles cleanly — so the
+    sweep rides :func:`repro.farm.run_farm` across all cores. Reports come
+    back in seed order and are byte-identical to running the same seeds
+    serially (``jobs=1`` *is* the serial loop; ``tests/test_farm.py`` and
+    ``benchmarks/test_e22_kernel.py`` hold the two paths equal).
+
+    ``seeds`` defaults to :func:`default_chaos_seeds`; ``jobs`` defaults
+    to every available core; ``kwargs`` are forwarded to every
+    :func:`run_chaos` call.
+    """
+    from repro.farm import run_farm
+
+    if seeds is None:
+        seeds = default_chaos_seeds()
+    return run_farm(run_chaos, seeds, jobs=jobs, kwargs=kwargs)

@@ -1,0 +1,143 @@
+"""The seed-farm runner: ordering, determinism, and failure surfacing.
+
+``run_farm``'s whole contract is that it behaves exactly like the list
+comprehension it replaces — same results, same order, same (first) error
+— only faster. Every test here compares the pooled path against that
+serial definition. Task functions live at module level because they must
+pickle across the process boundary.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.farm import FarmWorkerError, default_jobs, run_farm
+from repro.workloads import run_chaos_sweep
+
+
+def square(n, offset=0):
+    return n * n + offset
+
+
+def slow_for_early_items(n):
+    # Earlier items sleep longer, so with 2+ workers completion order is
+    # the *reverse* of submission order — results must not care.
+    import time
+    time.sleep(0.05 if n < 2 else 0.0)
+    return n
+
+
+def explode_on(n, bad=()):
+    if n in bad:
+        raise ValueError(f"boom on {n}")
+    return n
+
+
+def kill_worker(n):
+    if n == 1:
+        import os
+        os._exit(13)  # simulate a hard crash: no exception, no report
+    return n
+
+
+# -- ordering and equivalence ----------------------------------------------
+
+def test_results_in_item_order_serial_and_pooled():
+    items = list(range(8))
+    expected = [square(i) for i in items]
+    assert run_farm(square, items, jobs=1) == expected
+    assert run_farm(square, items, jobs=2) == expected
+
+
+def test_completion_order_does_not_leak_into_results():
+    items = list(range(4))
+    assert run_farm(slow_for_early_items, items, jobs=2) == items
+
+
+def test_kwargs_forwarded_to_every_task():
+    assert run_farm(square, [1, 2], jobs=2,
+                    kwargs={"offset": 10}) == [11, 14]
+
+
+def test_single_item_runs_inline():
+    assert run_farm(square, [3], jobs=8) == [9]
+
+
+def test_empty_items():
+    assert run_farm(square, [], jobs=4) == []
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ReproError):
+        run_farm(square, [1, 2], jobs=0)
+
+
+def test_default_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_FARM_JOBS", "3")
+    assert default_jobs() == 3
+
+
+# -- failure surfacing ------------------------------------------------------
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_task_failure_names_item_and_carries_traceback(jobs):
+    with pytest.raises(FarmWorkerError) as excinfo:
+        run_farm(explode_on, [0, 1, 2], jobs=jobs, kwargs={"bad": (1,)})
+    err = excinfo.value
+    assert err.item == 1
+    assert err.index == 1
+    assert "ValueError" in err.worker_traceback
+    assert "boom on 1" in err.worker_traceback
+
+
+def test_first_failing_item_in_item_order_wins():
+    # Items 1 and 3 both fail; the error must deterministically name 1
+    # regardless of which worker finishes first.
+    with pytest.raises(FarmWorkerError) as excinfo:
+        run_farm(explode_on, [0, 1, 2, 3], jobs=2, kwargs={"bad": (1, 3)})
+    assert excinfo.value.item == 1
+
+
+def test_hard_worker_death_is_surfaced():
+    with pytest.raises(FarmWorkerError) as excinfo:
+        run_farm(kill_worker, [0, 1, 2], jobs=2)
+    assert excinfo.value.index >= 0
+    assert excinfo.value.__cause__ is not None
+
+
+# -- the chaos sweep on the farm -------------------------------------------
+
+def test_chaos_sweep_pooled_matches_serial_bit_for_bit():
+    seeds = [0, 1, 2]
+    serial = run_chaos_sweep(seeds=seeds, jobs=1)
+    pooled = run_chaos_sweep(seeds=seeds, jobs=2)
+    assert [r.seed for r in pooled] == seeds
+    for a, b in zip(serial, pooled):
+        assert repr(a.signature) == repr(b.signature)
+        assert a.ok == b.ok
+        assert a.violations == b.violations
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_cli_farm_smoke(capsys, tmp_path):
+    from repro.cli import main
+
+    out_path = tmp_path / "farm.json"
+    assert main(["farm", "--seeds", "0,1", "--jobs", "1",
+                 "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 seeds on 1 worker(s)" in out
+    assert "invariants" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["seeds"] == [0, 1]
+    assert [r["seed"] for r in payload["reports"]] == [0, 1]
+    assert all(r["ok"] for r in payload["reports"])
+
+
+def test_cli_farm_seed_count_form(capsys):
+    from repro.cli import main
+
+    assert main(["farm", "--seeds", "3", "--jobs", "2"]) == 0
+    assert "3 seeds on 2 worker(s)" in capsys.readouterr().out

@@ -1,0 +1,242 @@
+"""Batched-dispatch kernel semantics: sweeps, lanes, and timer contracts.
+
+The batch-drain rewrite changed *how* the kernel dispatches (one stale
+sweep and one clock write per timestamp, three scheduling lanes) without
+being allowed to change *what* it dispatches. These tests pin the parts
+of that contract that a future refactor could silently regress:
+
+* stale-heavy queues drain in one sweep — every heap entry is popped
+  exactly once, and the stale sweep runs per *timestamp*, not per event;
+* the :class:`~repro.sim.kernel.Timeout` cancel/reschedule lifecycle,
+  including the documented "reschedule revives a cancelled timeout" and
+  "last call wins" rules;
+* :meth:`Environment.run_process` diagnoses a deadlock by naming the
+  stuck process instead of raising a bare "no more events";
+* batch-edge ordering: same-timestamp FIFO, interrupts ahead of
+  same-time normal events, and same-time callback cascades completing
+  within their batch.
+"""
+
+import pytest
+
+from repro.errors import SimError, SimStopped
+from repro.sim import kernel
+from repro.sim.kernel import Environment, Interrupt
+
+
+class SweepCountingEnv(Environment):
+    """Environment that counts ``_skip_stale`` sweeps."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sweeps = 0
+
+    def _skip_stale(self) -> None:
+        self.sweeps += 1
+        super()._skip_stale()
+
+
+# -- one-sweep drain --------------------------------------------------------
+
+def test_heap_entries_each_popped_exactly_once(monkeypatch):
+    """A stale-heavy queue drains with one pop per heap entry.
+
+    The pre-batching kernel swept the heap head twice per event (once in
+    ``peek``/``run``, once in ``step``); the sweeps never double-popped,
+    but this pins the stronger batched property: pops == pushes, no
+    re-heapify, no entry visited twice.
+    """
+    pops = []
+    real_heappop = kernel.heappop
+
+    def counting_heappop(heap):
+        entry = real_heappop(heap)
+        pops.append(entry)
+        return entry
+
+    monkeypatch.setattr(kernel, "heappop", counting_heappop)
+
+    env = Environment()
+    fired = []
+    # 30 timeouts at t=1..3, two thirds of which go stale.
+    timers = [env.timeout(1.0 + (i % 3)) for i in range(30)]
+    for i, timer in enumerate(timers):
+        if i % 3 == 1:
+            timer.cancel()
+        elif i % 3 == 2:
+            timer.reschedule(10.0)  # strands the original entry
+        else:
+            timer.callbacks.append(lambda ev: fired.append(ev))
+    env.run()
+
+    # 30 original entries + 10 reschedule duplicates, each popped once.
+    assert len(pops) == 40
+    assert len(pops) == len(set(id(entry) for entry in pops))
+    assert len(fired) == 10
+    assert env.now == 10.0  # the rescheduled third fires at t=0+10
+
+
+def test_stale_sweep_runs_once_per_timestamp():
+    env = SweepCountingEnv()
+    hits = []
+    for t in (1.0, 2.0, 3.0):
+        for _ in range(5):
+            env.timeout(t).callbacks.append(
+                lambda ev, t=t: hits.append(t))
+        cancelled = env.timeout(t)
+        cancelled.cancel()
+    env.run()
+    assert len(hits) == 15
+    # One sweep per non-empty batch plus the final empty-queue probe —
+    # the pre-batching kernel swept twice per *event* (>= 30 here).
+    assert env.sweeps <= 4
+
+
+# -- timeout cancel/reschedule contract -------------------------------------
+
+def test_reschedule_revives_a_cancelled_timeout():
+    env = Environment()
+    fired = []
+    timer = env.timeout(1.0)
+    timer.callbacks.append(lambda ev: fired.append(env.now))
+    timer.cancel()
+    assert timer.cancelled
+    timer.reschedule(3.0)  # documented: revival is legal
+    assert not timer.cancelled
+    assert timer.when == 3.0
+    env.run()
+    assert fired == [3.0]
+
+
+def test_cancel_after_reschedule_wins():
+    env = Environment()
+    fired = []
+    timer = env.timeout(1.0)
+    timer.callbacks.append(lambda ev: fired.append(env.now))
+    timer.reschedule(2.0)
+    timer.cancel()  # last call wins: the timeout stays cancelled
+    assert timer.cancelled
+    env.timeout(5.0)  # keep the clock moving past both entries
+    env.run()
+    assert fired == []
+    assert env.now == 5.0
+
+
+def test_double_cancel_is_a_no_op():
+    env = Environment()
+    timer = env.timeout(1.0)
+    timer.cancel()
+    timer.cancel()  # idempotent, not an error
+    assert timer.cancelled
+    env.timeout(2.0)
+    env.run()
+    assert not timer.processed
+
+
+# -- run_process deadlock diagnosis -----------------------------------------
+
+def test_run_process_deadlock_names_the_stuck_process():
+    env = Environment()
+
+    def starved_reader(env):
+        yield env.event()  # nothing will ever trigger this
+
+    with pytest.raises(SimError) as excinfo:
+        env.run_process(starved_reader(env))
+    message = str(excinfo.value)
+    assert "deadlocked" in message
+    assert "starved_reader" in message
+    # The failure is a diagnosis, not the generic drain signal.
+    assert not isinstance(excinfo.value, SimStopped)
+
+
+def test_run_process_completion_still_returns_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    assert env.run_process(worker(env)) == "done"
+
+
+# -- batch-edge ordering ----------------------------------------------------
+
+def test_same_timestamp_fifo_across_heap_and_cascade():
+    """Heap entries at the batch timestamp run before delay-0 events
+    scheduled *during* the batch (their eids are older), and the cascade
+    keeps FIFO order."""
+    env = Environment()
+    order = []
+    early = env.timeout(1.0, "early-heap-entry")
+    early.callbacks.append(lambda ev: order.append(ev.value))
+
+    def late_fired(ev):
+        order.append(ev.value)
+        for i in range(3):
+            env.event().succeed(f"cascade-{i}").callbacks.append(
+                lambda child: order.append(child.value))
+
+    late = env.timeout(1.0, "late-heap-entry")
+    late.callbacks.append(late_fired)
+    env.run()
+    # Creation (eid) order among the heap entries, then the cascade the
+    # late entry's callback scheduled at the running timestamp, in FIFO.
+    assert order == ["early-heap-entry", "late-heap-entry",
+                     "cascade-0", "cascade-1", "cascade-2"]
+
+
+def test_interrupt_runs_before_same_time_normal_events():
+    env = Environment()
+    order = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            order.append(("interrupt", interrupt.cause))
+
+    def manager(env, proc):
+        yield env.timeout(1.0)
+        proc.interrupt(cause="shutdown")
+
+    def bystander(env):
+        yield env.timeout(1.0)
+        order.append(("bystander", env.now))
+
+    proc = env.process(victim(env))
+    env.process(manager(env, proc))
+    # The bystander's t=1 timeout predates the interrupt event (smaller
+    # eid) but must still run after it: priority 0 beats eid order.
+    env.process(bystander(env))
+    env.run()
+    assert order == [("interrupt", "shutdown"), ("bystander", 1.0)]
+
+
+def test_step_drains_whole_timestamp_batch_including_cascade():
+    env = Environment()
+    seen = []
+
+    def chain(ev):
+        seen.append(ev.value)
+        if ev.value < 4:
+            env.event().succeed(ev.value + 1).callbacks.append(chain)
+
+    env.timeout(1.0, 0).callbacks.append(chain)
+    env.timeout(2.0, "next-batch").callbacks.append(
+        lambda ev: seen.append(ev.value))
+
+    env.step()  # one step == one timestamp == the whole t=1 cascade
+    assert seen == [0, 1, 2, 3, 4]
+    assert env.now == 1.0
+    env.step()
+    assert seen[-1] == "next-batch"
+    assert env.now == 2.0
+    with pytest.raises(SimStopped):
+        env.step()
+
+
+def test_environment_has_no_instance_dict():
+    env = Environment()
+    with pytest.raises(AttributeError):
+        env.scratch = 1  # __slots__: typos on the hot path must not hide
