@@ -10,8 +10,12 @@ Operator-facing utilities over DGL documents and the simulated grid:
   DGL requests;
 * ``demo``      — run a named scenario end to end and print its summary;
 * ``telemetry`` — same scenarios, with the telemetry layer attached:
-  prints a run summary and exports metrics/spans/events (Prometheus text
-  and/or JSONL);
+  prints a run summary with histogram quantiles (p50/p95/p99, optionally
+  restricted to a ``--window`` of sim time) and exports
+  metrics/spans/events (Prometheus text and/or JSONL);
+* ``trace``     — reconstruct the causal story of one execution from a
+  JSONL export / flight-recorder dump (``--jsonl``) or a live observed
+  chaos run (``--chaos-seed``);
 * ``lint``      — run dgflint, the determinism-contract linter
   (:mod:`repro.analysis`), over a source tree and emit a text or JSON
   report;
@@ -194,12 +198,31 @@ def _cmd_demo(args) -> int:
     return 0 if state == "completed" else 1
 
 
+def _parse_window(raw: Optional[str]):
+    """Parse ``start:end`` (either side blank = open) into a float pair."""
+    if raw is None:
+        return None
+    parts = raw.split(":")
+    if len(parts) != 2:
+        raise ReproError(
+            f"bad --window {raw!r}: expected start:end sim times")
+    try:
+        start = float(parts[0]) if parts[0].strip() else 0.0
+        end = float(parts[1]) if parts[1].strip() else float("inf")
+    except ValueError:
+        raise ReproError(
+            f"bad --window {raw!r}: expected start:end sim times")
+    if end < start:
+        raise ReproError(f"bad --window {raw!r}: end precedes start")
+    return (start, end)
+
+
 def _cmd_telemetry(args) -> int:
     from repro.grid.events import EventKind
     from repro.dgl.model import Operation
     from repro.telemetry import (
+        histogram_summaries,
         instrument_scenario,
-        prometheus_text,
         write_jsonl,
         write_prometheus,
     )
@@ -226,6 +249,7 @@ def _cmd_telemetry(args) -> int:
     response = scenario.run(go())
     state = response.body.state.value
     telemetry.collect()
+    window = _parse_window(args.window)
 
     print(f"scenario {args.scenario!r}: {state} at virtual "
           f"t={scenario.env.now:.1f} s")
@@ -235,15 +259,62 @@ def _cmd_telemetry(args) -> int:
     print(f"  spans recorded: {len(telemetry.tracer.finished)}")
     print(f"  event records:  {len(telemetry.log)}")
     print(f"  trigger firings: {len(manager.firing_log)}")
+    # Histograms as operator-facing quantiles (exact, from raw samples),
+    # not raw bucket dumps; --window restricts to a sim-time interval.
+    scope = (f" in t={window[0]:g}..{window[1]:g}" if window else "")
+    print(f"  histogram quantiles{scope}:")
+    summaries = histogram_summaries(telemetry, window=window)
+    if not summaries:
+        print("    (no samples in range)")
+    for summary in summaries:
+        labels = "".join(f" {key}={value}" for key, value
+                         in sorted(summary["labels"].items()))
+        print(f"    {summary['metric']}{labels}: n={summary['count']} "
+              f"p50={summary['p50']:.3f} p95={summary['p95']:.3f} "
+              f"p99={summary['p99']:.3f} max={summary['max']:.3f}")
     if args.prom is not None:
         write_prometheus(telemetry, args.prom)
         print(f"  wrote Prometheus text to {args.prom}")
     if args.jsonl is not None:
-        write_jsonl(telemetry, args.jsonl)
+        write_jsonl(telemetry, args.jsonl, window=window)
         print(f"  wrote JSONL export to {args.jsonl}")
-    if args.prom is None and args.jsonl is None:
-        print(prometheus_text(telemetry))
     return 0 if state == "completed" else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry.trace import (
+        execution_ids,
+        parse_jsonl,
+        render_trace,
+    )
+
+    if (args.jsonl is None) == (args.chaos_seed is None):
+        print("trace: give exactly one of --jsonl FILE or --chaos-seed N",
+              file=sys.stderr)
+        return 2
+    if args.jsonl is not None:
+        with open(args.jsonl, encoding="utf-8") as handle:
+            lines = [line.rstrip("\n") for line in handle]
+    else:
+        from repro.workloads.chaos import run_chaos
+        report = run_chaos(args.chaos_seed, observe=True,
+                           observe_export=True)
+        lines = report.observe.jsonl
+    dump = parse_jsonl(lines)
+    if args.execution is None:
+        known = execution_ids(dump)
+        if not known:
+            print("no executions found in the telemetry stream",
+                  file=sys.stderr)
+            return 1
+        print("executions in this telemetry stream "
+              "(re-run with one to reconstruct its causal story):")
+        for rid in known:
+            print(f"  {rid}")
+        return 0
+    text = render_trace(dump, args.execution)
+    print(text)
+    return 0 if not text.startswith("no trace") else 1
 
 
 def _cmd_lint(args) -> int:
@@ -395,7 +466,27 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--jsonl", default=None,
                            help="write the JSONL event/span/sample "
                                 "export here")
+    telemetry.add_argument(
+        "--window", default=None, metavar="START:END",
+        help="restrict histogram quantiles and the JSONL export to a "
+             "sim-time interval; either side may be blank (open)")
     telemetry.set_defaults(handler=_cmd_telemetry)
+
+    trace = commands.add_parser(
+        "trace",
+        help="reconstruct the causal story of one execution from "
+             "telemetry (flight-recorder dump, JSONL export, or a live "
+             "chaos run)")
+    trace.add_argument("execution", nargs="?", default=None,
+                       help="execution request id; omit to list the ids "
+                            "present in the stream")
+    trace.add_argument("--jsonl", default=None,
+                       help="read a JSONL telemetry export or "
+                            "flight-recorder dump from this file")
+    trace.add_argument("--chaos-seed", type=int, default=None,
+                       help="run the seeded chaos workload with "
+                            "observability attached and trace it live")
+    trace.set_defaults(handler=_cmd_trace)
 
     lint = commands.add_parser(
         "lint",

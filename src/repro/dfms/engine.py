@@ -149,7 +149,8 @@ class FlowEngine:
         except Exception as exc:
             execution.finish(ExecutionState.FAILED, error=str(exc),
                              failure=exc)
-            self._notify("execution_failed", execution, "", error=str(exc))
+            self._notify("execution_failed", execution, "", error=str(exc),
+                         error_type=type(exc).__name__)
         else:
             execution.finish(ExecutionState.COMPLETED)
             self._notify("execution_completed", execution, "")
@@ -196,7 +197,7 @@ class FlowEngine:
             status.error = str(exc)
             status.finished_at = self.env.now
             self._notify("flow_failed", execution, prefix or flow.name,
-                         error=str(exc))
+                         error=str(exc), error_type=type(exc).__name__)
             if span is not None:
                 t.tracer.finish(span, status="error")
             raise
@@ -415,7 +416,8 @@ class FlowEngine:
             status.state = ExecutionState.FAILED
             status.error = str(exc)
             status.finished_at = self.env.now
-            self._notify("step_failed", execution, key, error=str(exc))
+            self._notify("step_failed", execution, key, error=str(exc),
+                         error_type=type(exc).__name__)
             if span is not None:
                 active._tspan = prev_tspan
                 t.tracer.finish(span, status="error")

@@ -94,8 +94,12 @@ class ExecutionMonitor:
         """
         kind = self.WAITABLE_STATES.get(state)
         if kind is None:
+            # getattr, not state.value: a caller passing a plain string
+            # (or anything else) deserves the same clear error naming
+            # exactly what they asked for, not an AttributeError.
+            offending = getattr(state, "value", state)
             raise ValueError(
-                f"cannot wait for state {state.value!r}; watchable states "
+                f"cannot wait for state {offending!r}; watchable states "
                 f"are {sorted(s.value for s in self.WAITABLE_STATES)}")
         event = self.server.env.event()
         status = self.server.status(request_id).find(key)
@@ -122,12 +126,24 @@ class ExecutionMonitor:
             return False
         return True
 
+    #: Lifecycle transitions mirrored into the structured event log as
+    #: ``monitor.transition`` records, so causal traces cover what the
+    #: monitor's watchers saw even when nothing subscribed.
+    LIFECYCLE_KINDS = frozenset({
+        "execution_started", "execution_completed", "execution_failed",
+        "execution_cancelled", "paused", "resumed"})
+
     def _on_engine_event(self, kind, execution, instance_key, time,
                          detail) -> None:
         self.events_seen += 1
         event = EngineEvent(kind=kind, request_id=execution.request_id,
                             instance_key=instance_key, time=time,
                             detail=dict(detail))
+        telemetry = self.server.env.telemetry
+        if telemetry is not None and kind in self.LIFECYCLE_KINDS:
+            telemetry.log.emit("monitor.transition", state=kind,
+                               request_id=execution.request_id,
+                               key=instance_key)
         for filters, callback in list(self._watchers):
             if self._matches(filters, event):
                 callback(event)
@@ -147,6 +163,10 @@ class ExecutionMonitor:
             self._waits.remove(entry)
             if not sim_event.triggered:
                 sim_event.succeed(event)
+                if telemetry is not None:
+                    telemetry.log.emit(
+                        "monitor.wait_satisfied", state=kind,
+                        request_id=execution.request_id, key=instance_key)
 
 
 def _strip_iterations(key: str) -> str:

@@ -347,8 +347,11 @@ class FaultDriver:
         t = self.env.telemetry
         if t is not None:
             t.fault_events.labels(kind=event.kind, phase=phase).inc()
+            # start/duration give SLO probes and causal traces the full
+            # window geometry from either transition record alone.
             t.log.emit(f"fault.{phase}", fault=event.kind,
-                       target=event.target)
+                       target=event.target, start=event.start,
+                       duration=event.duration)
 
     def _begin(self, event: FaultEvent) -> None:
         if isinstance(event, StorageOutage):

@@ -36,7 +36,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import NetworkError, TransferInterrupted
 from repro.network.topology import Link, Topology
@@ -59,6 +59,10 @@ class TransferStats:
     end_time: float
     #: Links crossed; 0 means a same-domain (local) access.
     hops: int = 0
+    #: The links crossed, as sorted "a--b" end-pair names in route order —
+    #: the per-link identity SLO latency probes and the flight recorder
+    #: aggregate on. Empty for local accesses.
+    route: Tuple[str, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -144,7 +148,9 @@ class TransferService:
         links = self.topology.route(src, dst)
         stats = TransferStats(src=src, dst=dst, nbytes=nbytes,
                               start_time=self.env.now, end_time=self.env.now,
-                              hops=len(links))
+                              hops=len(links),
+                              route=tuple("--".join(sorted(link.ends))
+                                          for link in links))
         t = self.env.telemetry
         if t is None:
             span = None
@@ -232,6 +238,11 @@ class TransferService:
             # derived from the stats object at export time
             # (Telemetry collect); the hot path only stashes it.
             t.net_pending.append(stats)
+            recorder = t.recorder
+            if recorder is not None:
+                # The flight recorder cannot defer: a crash dump must
+                # already hold the completion.
+                recorder.record_transfer(stats)
         done.succeed(stats)
 
     def _interrupt(self, transfer: _ActiveTransfer, link: Link) -> None:

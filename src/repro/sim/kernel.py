@@ -674,6 +674,14 @@ class Environment:
         while proc.is_alive:
             if not step():
                 name = getattr(proc._generator, "__name__", None) or repr(proc)
+                telemetry = self._telemetry
+                if telemetry is not None:
+                    # Duck-typed: the kernel imports no telemetry. An
+                    # attached flight recorder auto-dumps its ring so the
+                    # causal tail of the hang survives the raise.
+                    recorder = getattr(telemetry, "recorder", None)
+                    if recorder is not None:
+                        recorder.on_deadlock(name, repr(proc._target))
                 raise SimError(
                     f"simulation deadlocked: event queue drained at "
                     f"t={self._now} while process {name!r} (spawned at "

@@ -14,22 +14,48 @@ Telemetry is opt-in: nothing is recorded until
 the sim kernel, DfMS engine, ILM manager, trigger manager, network
 transfer service, and catalog query planner — each guard on the session's
 absence, so the disabled mode costs one branch per instrumentation point.
+
+On top of the session, :func:`attach_observability` adds the operator
+layer (``docs/observability.md``): a :class:`FlightRecorder` — a bounded
+ring of causally-annotated recent records that auto-dumps deterministic
+JSONL on kernel deadlock, chaos invariant violation, or demand — and an
+:class:`SLOEngine` evaluating declarative probes (fault windows,
+windowed p99 transfer latency, recovery pressure, queue depth,
+execution stalls) on sim-time windows. Both are strictly read-only:
+``benchmarks/test_e23_observability.py`` holds the 20-seed chaos sweep
+bit-identical with the stack attached. :mod:`repro.telemetry.trace` is
+the read side — parse any export or dump and reconstruct one
+execution's causal story (``repro trace``).
 """
 
 from repro.telemetry.core import Telemetry
 from repro.telemetry.events import EventLog, TelemetryRecord
 from repro.telemetry.exporters import (
+    histogram_summaries,
     jsonl_lines,
+    merge_jsonl,
     prometheus_text,
     write_jsonl,
     write_prometheus,
 )
-from repro.telemetry.instrument import attach_telemetry, instrument_scenario
+from repro.telemetry.instrument import (
+    Observability,
+    attach_observability,
+    attach_telemetry,
+    instrument_scenario,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.telemetry.recorder import FlightRecord, FlightRecorder
+from repro.telemetry.slo import (
+    Alert,
+    SLOEngine,
+    default_probes,
+    fault_coverage,
 )
 from repro.telemetry.tracing import Span, Tracer
 
@@ -38,6 +64,10 @@ __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "Tracer", "Span",
     "EventLog", "TelemetryRecord",
+    "FlightRecorder", "FlightRecord",
+    "SLOEngine", "Alert", "default_probes", "fault_coverage",
     "prometheus_text", "jsonl_lines", "write_prometheus", "write_jsonl",
+    "histogram_summaries", "merge_jsonl",
     "attach_telemetry", "instrument_scenario",
+    "attach_observability", "Observability",
 ]

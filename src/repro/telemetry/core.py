@@ -131,6 +131,13 @@ class Telemetry:
         #: only worth gauging at export time (e.g. link utilization)
         #: register one instead of updating gauges on their hot path.
         self.collectors = []
+        #: Attached :class:`~repro.telemetry.recorder.FlightRecorder`
+        #: (None by default; set by ``attach_observability``). The kernel
+        #: reaches it duck-typed via ``getattr`` on deadlock, and the
+        #: transfer service tees completions into it when present.
+        self.recorder = None
+        #: Attached :class:`~repro.telemetry.slo.SLOEngine`, or None.
+        self.slo = None
 
     # -- sim kernel (derived) ------------------------------------------------
 
@@ -222,6 +229,7 @@ class Telemetry:
                 now, "net.transfer",
                 {"src": stats.src, "dst": stats.dst,
                  "nbytes": stats.nbytes, "hops": stats.hops,
+                 "links": list(stats.route),
                  "duration": duration})))
         del pending[:]
 

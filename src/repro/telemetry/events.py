@@ -36,11 +36,18 @@ class EventLog:
     def __init__(self, clock: Callable[[], float]) -> None:
         self._clock = clock
         self.records: List[TelemetryRecord] = []
+        #: Attached :class:`~repro.telemetry.recorder.FlightRecorder`, or
+        #: None (the default). When set, every emit tees one ring entry —
+        #: a single attribute load and branch on the emit path otherwise.
+        self.recorder = None
 
     def emit(self, kind: str, **fields: object) -> TelemetryRecord:
         """Append one record at the current sim time and return it."""
         record = TelemetryRecord(self._clock(), kind, fields)
         self.records.append(record)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.capture(record)
         return record
 
     def of_kind(self, kind: str) -> List[TelemetryRecord]:

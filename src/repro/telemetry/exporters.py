@@ -16,13 +16,14 @@ Two renderings of one :class:`~repro.telemetry.core.Telemetry` session:
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Iterable, List, Optional, Tuple
 
 from repro.telemetry.core import Telemetry
 from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.slo import quantile
 
 __all__ = ["prometheus_text", "jsonl_lines", "write_prometheus",
-           "write_jsonl"]
+           "write_jsonl", "histogram_summaries", "merge_jsonl"]
 
 
 def _escape_label(value: str) -> str:
@@ -78,8 +79,16 @@ def prometheus_text(telemetry: Telemetry) -> str:
     return "\n".join(lines) + "\n"
 
 
-def jsonl_lines(telemetry: Telemetry) -> List[str]:
-    """The session as JSONL: events, spans, samples, final metric values."""
+def jsonl_lines(telemetry: Telemetry,
+                window: Optional[Tuple[float, float]] = None) -> List[str]:
+    """The session as JSONL: events, spans, samples, final metric values.
+
+    ``window=(start, end)`` keeps only timed entries whose sim timestamp
+    (a span's *end*) lies in the closed interval — the CLI's
+    ``--window`` filter. Final metric values are cumulative over the
+    whole run, so a windowed export omits them rather than mislabel
+    run-total numbers as window-local ones.
+    """
     registry = telemetry.collect()
     entries: List[tuple] = []
     for record in telemetry.log.records:
@@ -107,12 +116,68 @@ def jsonl_lines(telemetry: Telemetry) -> List[str]:
                 final = {"sum": series.sum, "count": series.count}
             else:
                 final = {"value": series.value}
-            entries.append((float("inf"), 3, {
-                "type": "metric", "metric": metric.name,
-                "metric_kind": metric.kind, "labels": labels, **final}))
+            if window is None:
+                entries.append((float("inf"), 3, {
+                    "type": "metric", "metric": metric.name,
+                    "metric_kind": metric.kind, "labels": labels, **final}))
+    if window is not None:
+        start, end = window
+        entries = [entry for entry in entries if start <= entry[0] <= end]
     entries.sort(key=lambda entry: (entry[0], entry[1]))
     return [json.dumps(entry[2], sort_keys=True, default=str)
             for entry in entries]
+
+
+def histogram_summaries(telemetry: Telemetry,
+                        window: Optional[Tuple[float, float]] = None
+                        ) -> List[dict]:
+    """p50/p95/p99 summaries of every histogram series, from raw samples.
+
+    Quantiles are nearest-rank over the exact sample list (optionally
+    restricted to a sim-time ``window``) — real observed values, not
+    bucket-boundary interpolations. Series with no samples in range are
+    omitted.
+    """
+    telemetry.collect()
+    summaries: List[dict] = []
+    for metric in telemetry.metrics.metrics():
+        if metric.kind != "histogram":
+            continue
+        for label_values, series in metric.series():
+            values = [value for when, value in series.samples
+                      if window is None or window[0] <= when <= window[1]]
+            if not values:
+                continue
+            summaries.append({
+                "metric": metric.name,
+                "labels": dict(zip(metric.labelnames, label_values)),
+                "count": len(values),
+                "p50": quantile(values, 0.50),
+                "p95": quantile(values, 0.95),
+                "p99": quantile(values, 0.99),
+                "max": max(values),
+            })
+    return summaries
+
+
+def merge_jsonl(parts: Iterable[Tuple[str, Iterable[str]]]) -> List[str]:
+    """Deterministically merge per-worker JSONL exports into one stream.
+
+    ``parts`` is an ordered iterable of ``(run_tag, lines)`` — e.g. one
+    entry per seed of a :func:`repro.farm.run_farm` sweep. Each line
+    gains a ``"run"`` field naming its origin; part order and line order
+    are preserved, and re-dumping with sorted keys makes the output a
+    pure function of the inputs — merging the same parts in the same
+    order is byte-identical wherever it runs, so a farmed sweep's merged
+    telemetry equals the serial run's.
+    """
+    merged: List[str] = []
+    for tag, lines in parts:
+        for line in lines:
+            entry = json.loads(line)
+            entry["run"] = tag
+            merged.append(json.dumps(entry, sort_keys=True, default=str))
+    return merged
 
 
 def write_prometheus(telemetry: Telemetry, path: str) -> None:
@@ -121,8 +186,9 @@ def write_prometheus(telemetry: Telemetry, path: str) -> None:
         handle.write(prometheus_text(telemetry))
 
 
-def write_jsonl(telemetry: Telemetry, path: str) -> None:
+def write_jsonl(telemetry: Telemetry, path: str,
+                window: Optional[Tuple[float, float]] = None) -> None:
     """Write :func:`jsonl_lines` to ``path``, one object per line."""
     with open(path, "w", encoding="utf-8") as handle:
-        for line in jsonl_lines(telemetry):
+        for line in jsonl_lines(telemetry, window=window):
             handle.write(line + "\n")

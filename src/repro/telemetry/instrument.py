@@ -17,11 +17,12 @@ modes).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.telemetry.core import Telemetry
 
-__all__ = ["attach_telemetry", "instrument_scenario"]
+__all__ = ["attach_telemetry", "instrument_scenario",
+           "attach_observability", "Observability"]
 
 
 def attach_telemetry(env, server=None, dgms=None) -> Telemetry:
@@ -52,3 +53,48 @@ def instrument_scenario(scenario) -> Telemetry:
     """Attach telemetry to a :class:`~repro.workloads.scenarios.Scenario`."""
     return attach_telemetry(scenario.env, server=scenario.server,
                             dgms=scenario.dgms)
+
+
+class Observability(NamedTuple):
+    """The full observability stack attached to one environment."""
+
+    telemetry: Telemetry
+    recorder: object   # FlightRecorder
+    slo: object        # SLOEngine
+
+
+def attach_observability(env, server=None, dgms=None,
+                         capacity: Optional[int] = None,
+                         probes=None,
+                         dump_path: Optional[str] = None) -> Observability:
+    """Attach telemetry plus the flight recorder and SLO engine.
+
+    Builds (or reuses) the telemetry session, hangs a
+    :class:`~repro.telemetry.recorder.FlightRecorder` off it (teeing the
+    event log and, when a ``server`` is given, the engine listener bus),
+    and constructs an :class:`~repro.telemetry.slo.SLOEngine` over the
+    same session. Both are strictly read-only over the simulation —
+    attaching them cannot move a float (the E23 benchmark pins the
+    20-seed chaos fingerprint with and without). Idempotent: a second
+    call returns the existing stack (``probes`` and ``capacity`` are
+    ignored then).
+    """
+    from repro.telemetry.recorder import DEFAULT_CAPACITY, FlightRecorder
+    from repro.telemetry.slo import SLOEngine
+
+    telemetry = attach_telemetry(env, server=server, dgms=dgms)
+    recorder = telemetry.recorder
+    if recorder is None:
+        recorder = FlightRecorder(
+            telemetry,
+            capacity=DEFAULT_CAPACITY if capacity is None else capacity,
+            dump_path=dump_path)
+        telemetry.recorder = recorder
+        telemetry.log.recorder = recorder
+        if server is not None:
+            server.engine.listeners.append(recorder.engine_listener)
+    slo = telemetry.slo
+    if slo is None:
+        slo = SLOEngine(telemetry, probes=probes, server=server)
+        telemetry.slo = slo
+    return Observability(telemetry, recorder, slo)

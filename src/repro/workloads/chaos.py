@@ -40,11 +40,14 @@ from repro.ilm.engine import ILMManager
 from repro.ilm.policy import ILMPolicy, PlacementRule
 from repro.sim.rng import RandomStreams
 from repro.storage import MB
-from repro.telemetry.instrument import instrument_scenario
+from repro.telemetry.instrument import (
+    attach_observability,
+    instrument_scenario,
+)
 from repro.workloads.scenarios import Scenario, cms_scenario
 
-__all__ = ["ChaosReport", "run_chaos", "run_chaos_sweep", "run_signature",
-           "CHAOS_POLICY", "default_chaos_seeds"]
+__all__ = ["ChaosReport", "ObserveReport", "run_chaos", "run_chaos_sweep",
+           "run_signature", "CHAOS_POLICY", "default_chaos_seeds"]
 
 #: Generous budget: a chaos outage can hold a resource down for a fifth
 #: of the horizon, so retries must be able to outwait the longest window
@@ -60,6 +63,29 @@ def default_chaos_seeds(count: int = 20) -> List[int]:
     handful, the acceptance run does at least twenty.
     """
     return list(range(int(os.environ.get("CHAOS_SEEDS", count))))
+
+
+@dataclass
+class ObserveReport:
+    """What the observability stack saw during one chaos run.
+
+    Plain lists/dicts/strings throughout so a report still pickles
+    cleanly across :func:`repro.farm.run_farm` workers.
+    """
+
+    #: Every SLO alert raised, as plain dicts (labels flattened).
+    alerts: List[Dict] = field(default_factory=list)
+    #: Injected fault windows seen by telemetry, and the subset no
+    #: fault-window alert covered (the recall gate asserts it is empty).
+    fault_windows: int = 0
+    uncovered_windows: List[Tuple] = field(default_factory=list)
+    #: Flight-recorder state at the end of the run.
+    recorder_records: int = 0
+    recorder_dropped: int = 0
+    dump_reason: Optional[str] = None
+    dump_lines: List[str] = field(default_factory=list)
+    #: Full JSONL telemetry export (only when ``observe_export=True``).
+    jsonl: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -79,6 +105,8 @@ class ChaosReport:
     violations: List[str] = field(default_factory=list)
     #: Bit-identity fingerprint of the run (see :func:`run_signature`).
     signature: Tuple = ()
+    #: Observability results (only when ``run_chaos(observe=True)``).
+    observe: Optional[ObserveReport] = None
 
     @property
     def ok(self) -> bool:
@@ -273,7 +301,10 @@ def _check_invariants(scenario: Scenario, driver: Optional[FaultDriver],
 def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
               n_fault_events: int = 6, horizon: float = 40.0,
               n_events: int = 4, event_size: float = 16 * MB,
-              schedule: Optional[FaultSchedule] = None) -> ChaosReport:
+              schedule: Optional[FaultSchedule] = None,
+              observe: bool = False,
+              observe_dump_path: Optional[str] = None,
+              observe_export: bool = False) -> ChaosReport:
     """One chaos run: CMS workload under a seeded fault schedule.
 
     ``faults=False`` runs the identical workload with no schedule
@@ -281,10 +312,26 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
     grid fail-fast so the damage a schedule does is measurable. Pass an
     explicit ``schedule`` to replay a known one instead of drawing a
     random schedule from the seed.
+
+    ``observe=True`` attaches the full observability stack (flight
+    recorder + SLO engine) on top of telemetry, evaluates the probes
+    after the run, and fills :attr:`ChaosReport.observe`. The recorder
+    auto-dumps on an invariant violation (to ``observe_dump_path`` when
+    set, and on demand at end of run when a path is given);
+    ``observe_export=True`` additionally keeps the run's full JSONL
+    telemetry export on the report for trace reconstruction. The stack
+    is read-only: an observed run's :func:`run_signature` is
+    bit-identical to an unobserved one (gated by
+    ``benchmarks/test_e23_observability.py``).
     """
     scenario = cms_scenario(n_tier1=2, n_tier2_per_t1=1, n_events=n_events,
                             event_size=event_size, seed=seed)
     instrument_scenario(scenario)
+    obs = None
+    if observe:
+        obs = attach_observability(scenario.env, server=scenario.server,
+                                   dgms=scenario.dgms,
+                                   dump_path=observe_dump_path)
     streams = RandomStreams(seed)
     driver = None
     if faults:
@@ -317,7 +364,42 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
     )
     report.violations = _check_invariants(scenario, driver, service,
                                           supervisor)
+    if obs is not None:
+        report.observe = _observe_report(obs, report, observe_export)
     return report
+
+
+def _observe_report(obs, report: ChaosReport,
+                    export: bool) -> ObserveReport:
+    """Evaluate the SLO probes and snapshot the recorder for one run."""
+    from repro.telemetry.exporters import jsonl_lines
+    from repro.telemetry.slo import fault_coverage
+
+    obs.slo.evaluate()
+    windows, uncovered = fault_coverage(obs.slo)
+    recorder = obs.recorder
+    if report.violations:
+        recorder.record("chaos.invariant_violation",
+                        {"seed": report.seed,
+                         "violations": list(report.violations)})
+        recorder.dump("invariant-violation")
+    elif recorder.dump_path is not None:
+        # CI's smoke job uploads the on-demand dump as an artifact.
+        recorder.dump("on-demand")
+    return ObserveReport(
+        alerts=[{"probe": alert.probe, "severity": alert.severity,
+                 "time": alert.time, "window": alert.window,
+                 "value": alert.value, "threshold": alert.threshold,
+                 "labels": dict(alert.labels), "message": alert.message}
+                for alert in obs.slo.alerts],
+        fault_windows=len(windows),
+        uncovered_windows=list(uncovered),
+        recorder_records=len(recorder.ring),
+        recorder_dropped=recorder.dropped,
+        dump_reason=recorder.last_dump_reason,
+        dump_lines=list(recorder.last_dump),
+        jsonl=jsonl_lines(obs.telemetry) if export else [],
+    )
 
 
 def run_chaos_sweep(seeds: Optional[List[int]] = None,

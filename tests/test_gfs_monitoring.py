@@ -212,6 +212,63 @@ def test_wait_for_unwatchable_state_raises(dfms):
     dfms.env.run()   # the run itself is unaffected
 
 
+def test_wait_for_error_names_the_offending_state(dfms):
+    """The error message names exactly what the caller asked for — even
+    when that was a plain string rather than an ExecutionState."""
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+    with pytest.raises(ValueError, match="'bogus'"):
+        monitor.wait_for(ack.request_id, "a", state="bogus")
+    dfms.env.run()
+
+
+def test_lifecycle_transitions_land_in_the_event_log(dfms):
+    """With telemetry attached, the monitor mirrors lifecycle transitions
+    into the structured event log, so causal traces cover what watchers
+    saw even when nothing subscribed."""
+    from repro.telemetry import attach_telemetry
+
+    telemetry = attach_telemetry(dfms.env, server=dfms.server)
+    ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+    dfms.env.run()
+    transitions = telemetry.log.of_kind("monitor.transition")
+    assert [record.fields["state"] for record in transitions] == [
+        "execution_started", "execution_completed"]
+    assert all(record.fields["request_id"] == ack.request_id
+               for record in transitions)
+    # Step-level events are not lifecycle transitions; they stay on the
+    # engine's own telemetry path rather than being double-logged.
+    assert not any(record.fields["state"].startswith("step_")
+                   for record in transitions)
+
+
+def test_satisfied_waits_are_recorded(dfms):
+    from repro.telemetry import attach_telemetry
+
+    telemetry = attach_telemetry(dfms.env, server=dfms.server)
+    monitor = ExecutionMonitor(dfms.server)
+    ack = submit(dfms, slow_flow())
+
+    def waiter():
+        yield monitor.wait_for(ack.request_id, "a")
+
+    dfms.run(waiter())
+    satisfied = telemetry.log.of_kind("monitor.wait_satisfied")
+    assert len(satisfied) == 1
+    assert satisfied[0].fields["key"] == "a"
+    assert satisfied[0].fields["request_id"] == ack.request_id
+    assert satisfied[0].time == 5.0
+
+
+def test_monitor_emits_nothing_without_telemetry(dfms):
+    """No session attached: the monitor must not create one."""
+    ExecutionMonitor(dfms.server)
+    submit(dfms, slow_flow())
+    dfms.env.run()
+    assert dfms.env.telemetry is None
+
+
 def test_watch_filters_are_conjunctive(dfms):
     """A watcher with several filters only sees events matching all."""
     monitor = ExecutionMonitor(dfms.server)
