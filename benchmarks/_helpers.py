@@ -31,7 +31,7 @@ class BenchGrid:
                  wan_bandwidth: float = 50 * MB,
                  heterogeneous: bool = False,
                  placement_policy: str = "greedy",
-                 placement_rng=None) -> None:
+                 placement_streams=None) -> None:
         self.env = Environment()
         domains = [f"d{index}" for index in range(n_domains)]
         topology = (Topology.full_mesh(domains, 0.01, wan_bandwidth)
@@ -67,7 +67,7 @@ class BenchGrid:
         self.server = DfMSServer(self.env, self.dgms,
                                  infrastructure=infrastructure,
                                  placement_policy=placement_policy,
-                                 rng=placement_rng)
+                                 streams=placement_streams)
 
     def run(self, generator):
         return self.env.run_process(generator)

@@ -25,9 +25,9 @@ N_TASKS = 24
 
 
 def build_grid(policy="greedy"):
-    rng = (RandomStreams(7).stream("placer") if policy == "random" else None)
+    streams = RandomStreams(7) if policy == "random" else None
     grid = BenchGrid(n_domains=4, cores_per_domain=2, heterogeneous=True,
-                     placement_policy=policy, placement_rng=rng)
+                     placement_policy=policy, placement_streams=streams)
     # Input data lives at d0: tasks that read it have data gravity there.
     paths = grid.populate(8, size=200 * MB)
     return grid, paths

@@ -408,6 +408,42 @@ def _cmd_farm(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_gateway(args) -> int:
+    import json
+
+    from repro.workloads.traffic import run_saturation_curve
+
+    rates = [float(part) for part in args.loads.split(",") if part.strip()]
+    if not rates:
+        print("gateway: --loads needs at least one arrival rate",
+              file=sys.stderr)
+        return 2
+    points = run_saturation_curve(
+        rates, seed=args.seed, horizon_s=args.horizon,
+        workers=args.workers, queue_limit=args.queue_limit,
+        cache=not args.no_cache, jobs=args.jobs)
+    header = ("offered/s", "goodput/s", "p50_soj_s", "p99_soj_s",
+              "shed", "peak_q", "cache_hit")
+    rows = [(f"{p['offered_rate']:.2f}", f"{p['goodput_rate']:.3f}",
+             f"{p['p50_sojourn_s']:.2f}", f"{p['p99_sojourn_s']:.2f}",
+             p["shed_total"], p["peak_queue_depth"],
+             "-" if p["cache_hit_rate"] is None
+             else f"{p['cache_hit_rate']:.2f}")
+            for p in points]
+    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+              for i in range(len(header))]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    if args.json is not None:
+        _write(args.json, json.dumps({
+            "seed": args.seed, "horizon_s": args.horizon,
+            "workers": args.workers, "queue_limit": args.queue_limit,
+            "cache": not args.no_cache, "points": points,
+        }, indent=2))
+    return 0
+
+
 # -- entry point ------------------------------------------------------------
 
 
@@ -518,6 +554,29 @@ def build_parser() -> argparse.ArgumentParser:
     farm.add_argument("--json", default=None,
                       help="also write a JSON report here ('-' = stdout)")
     farm.set_defaults(handler=_cmd_farm)
+
+    gateway = commands.add_parser(
+        "gateway",
+        help="run a gateway traffic profile and print the saturation curve")
+    gateway.add_argument("--loads", default="0.5,1,2,4,8",
+                         help="comma-separated session arrival rates per "
+                              "sim second (default: 0.5,1,2,4,8)")
+    gateway.add_argument("--seed", type=int, default=0,
+                         help="traffic/scenario seed (default: 0)")
+    gateway.add_argument("--horizon", type=float, default=60.0,
+                         help="sim seconds of offered traffic (default: 60)")
+    gateway.add_argument("--workers", type=int, default=4,
+                         help="gateway worker processes (default: 4)")
+    gateway.add_argument("--queue-limit", type=int, default=32,
+                         help="bounded queue size (default: 32)")
+    gateway.add_argument("--no-cache", action="store_true",
+                         help="run without the DGMS cache tier")
+    gateway.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the sweep "
+                              "(default: all usable cores)")
+    gateway.add_argument("--json", default=None,
+                         help="also write the curve as JSON ('-' = stdout)")
+    gateway.set_defaults(handler=_cmd_gateway)
 
     return parser
 

@@ -1,11 +1,13 @@
 """The Datagridflow Management System (DfMS).
 
-Server, flow-interpreter engine, execution control (pause / resume /
-cancel / checkpoint / restore), infrastructure description + scheduling,
-virtual data, and the peer-to-peer server network.
+Server, admission-controlled gateway + cache tier, flow-interpreter
+engine, execution control (pause / resume / cancel / checkpoint /
+restore), infrastructure description + scheduling, virtual data, and the
+peer-to-peer server network.
 """
 
 from repro.dfms.bindings import bind_default_operations
+from repro.dfms.cache import DgmsCache, attach_cache
 from repro.dfms.checkpoint import (
     checkpoint_execution,
     checkpoint_from_json,
@@ -15,6 +17,7 @@ from repro.dfms.checkpoint import (
 from repro.dfms.compute import ComputeResource
 from repro.dfms.context import ExecutionContext
 from repro.dfms.engine import ON_ERROR, FlowCancelled, FlowEngine
+from repro.dfms.gateway import DfMSGateway, TokenBucket, VOPolicy
 from repro.dfms.execution import FlowExecution, JournalEntry, build_status_tree
 from repro.dfms.idl import (
     SLA,
@@ -33,7 +36,9 @@ from repro.dfms.server import DfMSServer
 from repro.dfms.virtualdata import Derivation, VirtualDataCatalog
 
 __all__ = [
-    "DfMSServer", "FlowEngine", "FlowExecution", "ExecutionContext",
+    "DfMSServer", "DfMSGateway", "TokenBucket", "VOPolicy",
+    "DgmsCache", "attach_cache",
+    "FlowEngine", "FlowExecution", "ExecutionContext",
     "FlowCancelled", "ON_ERROR", "JournalEntry", "build_status_tree",
     "bind_default_operations",
     "ComputeResource", "InfrastructureDescription", "DomainDescription",

@@ -11,10 +11,11 @@ Protocol (Appendix A):
   A flow request starts executing and is answered immediately with a
   :class:`~repro.dgl.model.RequestAcknowledgement` carrying the unique
   request identifier (the asynchronous path). A status-query request is
-  answered immediately with the current (deep-copied) status tree, at any
-  granularity. Invalid documents are answered with ``valid=False`` rather
-  than an exception — the response's validity field exists for exactly
-  this.
+  answered immediately with a detached snapshot of the status tree at
+  the requested path and depth — only the requested granularity is
+  copied, so status-heavy traffic never pays for the full tree. Invalid
+  documents are answered with ``valid=False`` rather than an exception —
+  the response's validity field exists for exactly this.
 * :meth:`submit_sync` — the synchronous path: a generator that completes
   only when the flow does, returning the full status response.
 * :meth:`pause` / :meth:`resume` / :meth:`cancel` — the §2.1 control
@@ -23,8 +24,6 @@ Protocol (Appendix A):
 
 from __future__ import annotations
 
-import copy
-import random
 from typing import Dict, List, Optional
 
 from repro.errors import DfMSError, UnknownRequestError
@@ -52,6 +51,7 @@ from repro.errors import DGLValidationError
 from repro.grid.dgms import DataGridManagementSystem
 from repro.ids import IdFactory
 from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
 
 __all__ = ["DfMSServer"]
 
@@ -65,7 +65,7 @@ class DfMSServer:
                  infrastructure: Optional[InfrastructureDescription] = None,
                  placement_policy: str = "greedy",
                  cost_weights: Optional[CostWeights] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 streams: Optional[RandomStreams] = None) -> None:
         self.env = env
         self.dgms = dgms
         self.name = name
@@ -76,7 +76,11 @@ class DfMSServer:
         self.cost_model = CostModel(dgms, weights=cost_weights)
         self.placer: Optional[Placer] = None
         self._placement_policy = placement_policy
-        self._rng = rng
+        # Randomized placement draws from a named substream of the
+        # run's seeded RandomStreams (the repo-wide DGF002 convention),
+        # keyed by server name so co-hosted servers stay decorrelated.
+        self._rng = (streams.stream(f"{name}.placer")
+                     if streams is not None else None)
         self._compute: Dict[str, ComputeResource] = {}
         self.infrastructure: Optional[InfrastructureDescription] = None
         if infrastructure is not None:
@@ -157,15 +161,23 @@ class DfMSServer:
             return None, f"unknown grid user {request.user!r}"
         return self._start_execution(request, request_id), None
 
-    def submit(self, request: DataGridRequest) -> DataGridResponse:
-        """Handle a request; always returns immediately.
+    def allocate_request_id(self) -> str:
+        """Allocate the next request identifier without admitting anything.
 
-        Flow requests are acknowledged and run in the background; status
-        queries are answered in place.
+        The gateway pre-allocates identifiers for queued requests so the
+        queued acknowledgement already carries the id the flow will run
+        under; pair with :meth:`start_flow`.
         """
-        if isinstance(request.body, FlowStatusQuery):
-            return self._answer_status_query(request.body)
-        request_id = self.ids.next(f"{self.name}.dgr")
+        return self.ids.next(f"{self.name}.dgr")
+
+    def start_flow(self, request: DataGridRequest,
+                   request_id: str) -> DataGridResponse:
+        """Admit and start a flow request under a pre-allocated id.
+
+        The dequeue half of the gateway protocol: validation failures
+        come back as ``valid=False`` responses exactly like
+        :meth:`submit`.
+        """
         execution, error = self._admit(request, request_id)
         if error is not None:
             return self._reject(request_id, error)
@@ -174,6 +186,16 @@ class DfMSServer:
             body=RequestAcknowledgement(
                 request_id=request_id, state=execution.state, valid=True,
                 message=f"accepted by {self.name}"))
+
+    def submit(self, request: DataGridRequest) -> DataGridResponse:
+        """Handle a request; always returns immediately.
+
+        Flow requests are acknowledged and run in the background; status
+        queries are answered in place.
+        """
+        if isinstance(request.body, FlowStatusQuery):
+            return self._answer_status_query(request.body)
+        return self.start_flow(request, self.allocate_request_id())
 
     def submit_oneway(self, request: DataGridRequest) -> None:
         """Fire-and-forget submission (Appendix A's one-way messages).
@@ -185,8 +207,7 @@ class DfMSServer:
         """
         if isinstance(request.body, FlowStatusQuery):
             return   # a status query with nowhere to send the answer
-        request_id = self.ids.next(f"{self.name}.dgr")
-        self._admit(request, request_id)
+        self._admit(request, self.allocate_request_id())
 
     def submit_sync(self, request: DataGridRequest):
         """Generator (sim process body): submit and wait for completion.
@@ -204,7 +225,7 @@ class DfMSServer:
         if not execution.state.is_terminal:
             yield execution.done
         return DataGridResponse(request_id=response.request_id,
-                                body=copy.deepcopy(execution.status))
+                                body=execution.status.snapshot())
 
     def _answer_status_query(self, query: FlowStatusQuery) -> DataGridResponse:
         execution = self._executions.get(query.request_id)
@@ -218,7 +239,7 @@ class DfMSServer:
                 query.request_id,
                 f"no task at path {query.path!r} in {query.request_id}")
         return DataGridResponse(request_id=query.request_id,
-                                body=copy.deepcopy(status))
+                                body=status.snapshot(query.max_depth))
 
     # ------------------------------------------------------------------
     # Programmatic control and inspection
@@ -240,15 +261,16 @@ class DfMSServer:
             raise UnknownRequestError(
                 f"{self.name} knows no request {request_id!r}") from None
 
-    def status(self, request_id: str,
-               path: Optional[str] = None) -> FlowStatus:
-        """Deep-copied status of one request, optionally narrowed."""
+    def status(self, request_id: str, path: Optional[str] = None,
+               max_depth: Optional[int] = None) -> FlowStatus:
+        """A detached status snapshot of one request, optionally narrowed
+        to a subtree (``path``) and truncated to ``max_depth`` levels."""
         execution = self.execution(request_id)
         status = execution.status.find(path or "")
         if status is None:
             raise UnknownRequestError(
                 f"no task at path {path!r} in {request_id}")
-        return copy.deepcopy(status)
+        return status.snapshot(max_depth)
 
     def pause(self, request_id: str) -> None:
         """Pause ``request_id`` at its next step boundary."""

@@ -29,6 +29,7 @@ from repro.dgl.model import (
     Parallel,
     Repeat,
     RequestAcknowledgement,
+    RequestRejection,
     Sequential,
     Step,
     SwitchCase,
@@ -56,7 +57,7 @@ __all__ = [
     "Action", "UserDefinedRule", "BEFORE_ENTRY", "AFTER_EXIT",
     "Sequential", "Parallel", "WhileLoop", "Repeat", "ForEach", "SwitchCase",
     "FlowStatusQuery", "FlowStatus", "RequestAcknowledgement",
-    "ExecutionState",
+    "RequestRejection", "ExecutionState",
     # xml
     "to_xml", "from_xml", "request_to_xml", "request_from_xml",
     "response_to_xml", "response_from_xml",

@@ -14,8 +14,9 @@ Mirrors Appendix A of the paper:
 * a :class:`Step` is a concrete action: variables + rules + exactly one
   :class:`Operation`;
 * a :class:`DataGridResponse` carries either a full :class:`FlowStatus`
-  (synchronous requests) or a :class:`RequestAcknowledgement`
-  (asynchronous requests) (paper Fig. 4).
+  (synchronous requests), a :class:`RequestAcknowledgement`
+  (asynchronous requests) (paper Fig. 4), or — from a load-managed
+  front end — a :class:`RequestRejection` shedding the request outright.
 """
 
 from __future__ import annotations
@@ -32,7 +33,7 @@ __all__ = [
     "ForEach", "SwitchCase", "FlowLogic", "Step", "Flow",
     "DocumentMetadata", "DataGridRequest", "FlowStatusQuery",
     "ExecutionState", "FlowStatus", "RequestAcknowledgement",
-    "DataGridResponse", "BEFORE_ENTRY", "AFTER_EXIT",
+    "RequestRejection", "DataGridResponse", "BEFORE_ENTRY", "AFTER_EXIT",
 ]
 
 #: Reserved user-defined-rule names (Appendix A).
@@ -319,14 +320,21 @@ class FlowStatusQuery:
     ``request_id`` is the identifier returned in the acknowledgement;
     ``path`` optionally narrows to one task, at any granularity, as a
     ``/``-joined chain of flow/step names (e.g. ``ingest/stage-2/copy``).
+    ``max_depth`` optionally bounds how many levels of children the
+    answer includes below the addressed node (``0`` = just that node's
+    own state — the cheap poll a monitoring loop wants; ``None`` = the
+    full subtree).
     """
 
     request_id: str
     path: Optional[str] = None
+    max_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.request_id:
             raise DGLValidationError("status query needs a request id")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise DGLValidationError("max_depth cannot be negative")
 
 
 @dataclass
@@ -390,6 +398,26 @@ class FlowStatus:
                 return child.find(rest)
         return None
 
+    def snapshot(self, max_depth: Optional[int] = None) -> "FlowStatus":
+        """A detached copy of this subtree, to ``max_depth`` levels.
+
+        The server's status trees are live (the engine mutates them in
+        place), so answers must be copies. ``copy.deepcopy`` walks every
+        field through its generic machinery; this hand-rolled copy is
+        an order of magnitude cheaper — which matters because status
+        polls dominate gateway traffic. ``max_depth=0`` copies just this
+        node (children omitted); ``None`` copies everything below.
+        """
+        if max_depth == 0:
+            children: List["FlowStatus"] = []
+        else:
+            deeper = None if max_depth is None else max_depth - 1
+            children = [child.snapshot(deeper) for child in self.children]
+        return FlowStatus(
+            name=self.name, state=self.state, started_at=self.started_at,
+            finished_at=self.finished_at, error=self.error,
+            iterations=self.iterations, children=children)
+
 
 @dataclass
 class RequestAcknowledgement:
@@ -402,13 +430,40 @@ class RequestAcknowledgement:
 
 
 @dataclass
+class RequestRejection:
+    """A shed response: the request was refused before admission.
+
+    Unlike an invalid-document :class:`RequestAcknowledgement`
+    (``valid=False`` — the *document* is wrong), a rejection says the
+    document never got looked at: the submitting tenant is out of quota
+    (``reason="quota"``) or the service is saturated
+    (``reason="overload"``). ``retry_after_s`` is the server's hint for
+    when resubmission could succeed (sim seconds; ``None`` = no
+    estimate).
+    """
+
+    request_id: str
+    reason: str
+    message: Optional[str] = None
+    retry_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            raise DGLValidationError("rejection needs a reason")
+
+
+@dataclass
 class DataGridResponse:
     """The top-level response document (Fig. 4)."""
 
     request_id: str
-    body: Union[FlowStatus, RequestAcknowledgement]
+    body: Union[FlowStatus, RequestAcknowledgement, RequestRejection]
     metadata: DocumentMetadata = field(default_factory=DocumentMetadata)
 
     @property
     def is_acknowledgement(self) -> bool:
         return isinstance(self.body, RequestAcknowledgement)
+
+    @property
+    def is_rejection(self) -> bool:
+        return isinstance(self.body, RequestRejection)

@@ -28,7 +28,7 @@ keeps iteration deterministic for a deterministic operation sequence.
 from __future__ import annotations
 
 import bisect
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.grid.metadata import MetadataValue
 
@@ -61,6 +61,20 @@ class GridCatalog:
         # The size each object is currently indexed under (sizes mutate on
         # overwrite; the key must be removed under its *old* value).
         self._indexed_size: Dict[str, float] = {}
+        #: Change listeners: ``listener(kind, obj, attribute)`` is called
+        #: after every index mutation — ``kind`` is one of ``register``,
+        #: ``deregister``, ``metadata`` (with the changed attribute), or
+        #: ``resize``. This is the precise invalidation feed a memoizing
+        #: cache tier (:mod:`repro.dfms.cache`) keys its evictions on:
+        #: anything that can change a query's result set passes through
+        #: exactly one of these four mutations.
+        self.listeners: List[
+            Callable[[str, "DataObject", Optional[str]], None]] = []
+
+    def _changed(self, kind: str, obj: "DataObject",
+                 attribute: Optional[str] = None) -> None:
+        for listener in self.listeners:
+            listener(kind, obj, attribute)
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -76,6 +90,8 @@ class GridCatalog:
         for attribute, value in obj.metadata.items():
             self._index_meta(obj, attribute, value)
         obj.metadata._bind(obj, self._on_metadata_change)
+        if self.listeners:
+            self._changed("register", obj)
 
     def deregister_object(self, obj: "DataObject") -> None:
         """Drop ``obj`` from every index (it left the tree)."""
@@ -89,6 +105,8 @@ class GridCatalog:
                     and self._size_keys[index] == (size, obj.guid)):
                 del self._size_keys[index]
         self._by_guid.pop(obj.guid, None)
+        if self.listeners:
+            self._changed("deregister", obj)
 
     # -- change hooks --------------------------------------------------------
 
@@ -99,6 +117,8 @@ class GridCatalog:
             self._unindex_meta(obj, attribute, old)
         if new is not None:
             self._index_meta(obj, attribute, new)
+        if self.listeners:
+            self._changed("metadata", obj, attribute)
 
     def object_resized(self, obj: "DataObject") -> None:
         """Re-key the size index after ``obj.size`` changed (overwrite)."""
@@ -111,6 +131,8 @@ class GridCatalog:
             del self._size_keys[index]
         bisect.insort(self._size_keys, (obj.size, obj.guid))
         self._indexed_size[obj.guid] = obj.size
+        if self.listeners:
+            self._changed("resize", obj)
 
     def _index_meta(self, obj: "DataObject", attribute: str,
                     value: MetadataValue) -> None:

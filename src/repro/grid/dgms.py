@@ -80,6 +80,11 @@ class DataGridManagementSystem:
         #: every operation takes its original, fail-fast code path —
         #: keeping this module import-free of the faults package.
         self.recovery = None
+        #: Memoizing cache tier (duck-typed; see
+        #: :func:`repro.dfms.cache.attach_cache`). ``None`` means every
+        #: query and replica selection runs fresh — keeping this module
+        #: import-free of the dfms package.
+        self.cache = None
         # Per-device I/O channel pools (for resources with a channel limit).
         self._io_slots: Dict[str, "Resource"] = {}
 
@@ -213,6 +218,8 @@ class DataGridManagementSystem:
                    principal=principal, permission=permission.name)
         start = self.env.now
         node.acl.grant(principal, permission)
+        if self.cache is not None:
+            self.cache.on_acl_change(path)
         self._emit(EventKind.ACL_CHANGE, EventPhase.AFTER, path, user,
                    principal=principal, permission=permission.name)
         self._record("grant", user, path, start,
@@ -244,7 +251,14 @@ class DataGridManagementSystem:
         return collection.children()
 
     def query(self, user: User, query: Query) -> List[DataObject]:
-        """Run a datagrid query; results are filtered to READable objects."""
+        """Run a datagrid query; results are filtered to READable objects.
+
+        The cache tier (when attached) memoizes the post-ACL result list
+        per caller; :meth:`grant` notifies it, so permission changes made
+        through the DGMS never serve stale visibility.
+        """
+        if self.cache is not None:
+            return self.cache.run_query(user, query)
         results = query.run(self.namespace)
         return [obj for obj in results
                 if obj.acl.allows(user, Permission.READ)]
@@ -326,7 +340,10 @@ class DataGridManagementSystem:
 
         ``exclude`` is a set of replica numbers already tried and failed
         this operation (the failover path); they are skipped so the next
-        attempt goes to an alternate replica.
+        attempt goes to an alternate replica. The cache tier (when
+        attached) memoizes non-exclude lookups, stamped against the
+        topology version and the object's replica set; the failover path
+        always recomputes.
         """
         replicas = obj.good_replicas()
         if exclude:
@@ -336,6 +353,18 @@ class DataGridManagementSystem:
             raise ReplicaError(
                 f"{obj.path} has no good replicas"
                 + (" left to try" if exclude else ""))
+        cache = self.cache if not exclude else None
+        if cache is not None:
+            cached = cache.lookup_replica(obj, to_domain, policy, replicas)
+            if cached is not None:
+                return cached
+        choice = self._choose_replica(obj, to_domain, policy, replicas)
+        if cache is not None:
+            cache.store_replica(obj, to_domain, policy, replicas, choice)
+        return choice
+
+    def _choose_replica(self, obj: DataObject, to_domain: str,
+                        policy: str, replicas: List[Replica]) -> Replica:
         if policy == "fixed":
             return min(replicas, key=lambda r: r.replica_number)
         if policy == "nearest":

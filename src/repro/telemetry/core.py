@@ -117,6 +117,30 @@ class Telemetry:
         self.catalog_candidates = metric.counter(
             "catalog_candidates_examined_total",
             "Candidate objects examined while answering queries")
+        # -- DfMS gateway (admission + queueing) ---------------------------
+        self.gateway_queue_depth = metric.gauge(
+            "gateway_queue_depth",
+            "Requests admitted but not yet dequeued by a worker",
+            ["gateway"])
+        self.gateway_admitted = metric.counter(
+            "gateway_admitted_total",
+            "Requests admitted into the gateway queue", ["gateway"])
+        self.gateway_shed = metric.counter(
+            "gateway_shed_total",
+            "Requests refused before admission, by reason",
+            ["gateway", "reason"])
+        self.gateway_queue_wait = metric.histogram(
+            "gateway_queue_wait_seconds",
+            "Virtual time from admission to dequeue", ["gateway"])
+        # -- DGMS cache tier -----------------------------------------------
+        self.cache_requests = metric.counter(
+            "dgms_cache_requests_total",
+            "Cache-tier lookups, by surface and outcome",
+            ["surface", "outcome"])
+        self.cache_invalidations = metric.counter(
+            "dgms_cache_invalidations_total",
+            "Cache entries dropped by precise invalidation, by cause",
+            ["cause"])
         # Per-kind engine counter cache: the deferred engine events fold
         # (collect) skips the labels() keyword plumbing on repeat kinds.
         self._engine_kind_counters = {}

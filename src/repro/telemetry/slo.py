@@ -26,8 +26,9 @@ The stock probe set (:func:`default_probes`):
 * :class:`RecoveryPressureProbe` — recovery actions (retries, resumes,
   failovers, restarts) per window; any recovery activity above the
   budget means the grid is burning resilience headroom.
-* :class:`QueueDepthProbe` — kernel scheduling-lane depth at the
-  evaluation instant; a runaway workload shows up here first.
+* :class:`QueueDepthProbe` — kernel scheduling-lane depth (and any
+  published gateway backlog) at the evaluation instant; a runaway
+  workload shows up here first.
 * :class:`StallProbe` — execution-stall watchdog: a live (non-terminal)
   execution with no engine event for longer than the quiet budget is
   stuck *right now*.
@@ -219,24 +220,50 @@ class RecoveryPressureProbe:
 
 
 class QueueDepthProbe:
-    """Kernel scheduling-lane depth at the evaluation instant."""
+    """Kernel scheduling-lane — and gateway backlog — depth right now.
+
+    Two depth surfaces, one probe: the kernel's scheduling lanes (a
+    runaway workload shows up here first) and, when a
+    :class:`~repro.dfms.gateway.DfMSGateway` is publishing its
+    ``gateway_queue_depth`` gauge, each gateway's admission backlog
+    against ``max_gateway_depth``. A gateway pinned at its bound means
+    requests are being shed — the operator-side view of saturation.
+    """
 
     name = "queue-depth"
 
-    def __init__(self, max_depth: int = 100_000) -> None:
+    def __init__(self, max_depth: int = 100_000,
+                 max_gateway_depth: int = 1_000) -> None:
         self.max_depth = max_depth
+        self.max_gateway_depth = max_gateway_depth
 
     def evaluate(self, engine, now: float) -> List[Alert]:
-        """Alert when the kernel lanes exceed the depth cap right now."""
+        """Alert when any watched queue exceeds its depth cap right now."""
+        alerts = []
         depth = engine.telemetry._queued()
-        if depth <= self.max_depth:
-            return []
-        return [Alert(
-            probe=self.name, severity="warning", time=now,
-            window=(now, now), value=float(depth),
-            threshold=float(self.max_depth), labels=(),
-            message=f"{depth} events queued on the kernel lanes at "
-                    f"t={now:.2f} (max {self.max_depth})")]
+        if depth > self.max_depth:
+            alerts.append(Alert(
+                probe=self.name, severity="warning", time=now,
+                window=(now, now), value=float(depth),
+                threshold=float(self.max_depth), labels=(),
+                message=f"{depth} events queued on the kernel lanes at "
+                        f"t={now:.2f} (max {self.max_depth})"))
+        family = engine.telemetry.metrics.get("gateway_queue_depth")
+        if family is not None:
+            for values, series in sorted(family.series()):
+                backlog = series.value
+                if backlog <= self.max_gateway_depth:
+                    continue
+                gateway = values[0] if values else "?"
+                alerts.append(Alert(
+                    probe=self.name, severity="warning", time=now,
+                    window=(now, now), value=float(backlog),
+                    threshold=float(self.max_gateway_depth),
+                    labels=_labels(gateway=gateway),
+                    message=f"{backlog:.0f} requests backlogged at "
+                            f"{gateway} at t={now:.2f} "
+                            f"(max {self.max_gateway_depth})"))
+        return alerts
 
 
 class StallProbe:
@@ -285,13 +312,14 @@ class StallProbe:
 def default_probes(p99_threshold_s: float = 20.0, window_s: float = 5.0,
                    max_recovery_actions: int = 0,
                    max_queue_depth: int = 100_000,
+                   max_gateway_depth: int = 1_000,
                    stall_quiet_s: float = 30.0) -> List[object]:
     """The stock probe set, thresholds overridable per deployment."""
     return [
         FaultWindowProbe(),
         TransferLatencyProbe(p99_threshold_s, window_s),
         RecoveryPressureProbe(max_recovery_actions, window_s),
-        QueueDepthProbe(max_queue_depth),
+        QueueDepthProbe(max_queue_depth, max_gateway_depth),
         StallProbe(stall_quiet_s),
     ]
 

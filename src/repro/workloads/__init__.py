@@ -22,6 +22,14 @@ from repro.workloads.scenarios import (
     scec_scenario,
     ucsd_library_scenario,
 )
+from repro.workloads.traffic import (
+    TrafficGenerator,
+    TrafficProfile,
+    TrafficStats,
+    pareto_gaps,
+    run_saturation_curve,
+    run_saturation_point,
+)
 
 __all__ = [
     "populate_collection", "uniform_sizes", "lognormal_sizes",
@@ -30,4 +38,6 @@ __all__ = [
     "ucsd_library_scenario",
     "ChaosReport", "run_chaos", "run_chaos_sweep", "run_signature",
     "default_chaos_seeds",
+    "TrafficGenerator", "TrafficProfile", "TrafficStats", "pareto_gaps",
+    "run_saturation_point", "run_saturation_curve",
 ]

@@ -304,7 +304,8 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
               schedule: Optional[FaultSchedule] = None,
               observe: bool = False,
               observe_dump_path: Optional[str] = None,
-              observe_export: bool = False) -> ChaosReport:
+              observe_export: bool = False,
+              cache: bool = False) -> ChaosReport:
     """One chaos run: CMS workload under a seeded fault schedule.
 
     ``faults=False`` runs the identical workload with no schedule
@@ -323,10 +324,19 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
     is read-only: an observed run's :func:`run_signature` is
     bit-identical to an unobserved one (gated by
     ``benchmarks/test_e23_observability.py``).
+
+    ``cache=True`` attaches the memoizing DGMS cache tier
+    (:func:`repro.dfms.cache.attach_cache`); its TTLs tick in sim time
+    and its invalidation is precise, so a cached run's signature must
+    also be bit-identical — ``benchmarks/test_e24_gateway.py`` sweeps
+    this against the pinned baseline.
     """
     scenario = cms_scenario(n_tier1=2, n_tier2_per_t1=1, n_events=n_events,
                             event_size=event_size, seed=seed)
     instrument_scenario(scenario)
+    if cache:
+        from repro.dfms.cache import attach_cache
+        attach_cache(scenario.dgms)
     obs = None
     if observe:
         obs = attach_observability(scenario.env, server=scenario.server,

@@ -3,7 +3,7 @@ validation, sync vs async, and XML round-trip through the server."""
 
 import pytest
 
-from repro.errors import UnknownRequestError
+from repro.errors import InvalidTransition, UnknownRequestError
 from repro.dgl import (
     DataGridRequest,
     DataGridResponse,
@@ -179,3 +179,99 @@ def test_wait_on_already_finished_execution(dfms):
         return dfms.env.now
 
     assert dfms.run(scenario()) == 1.0
+
+
+# -- one-way submission ------------------------------------------------------
+
+
+def test_submit_oneway_runs_the_flow_without_a_response(dfms):
+    assert dfms.server.submit_oneway(
+        make_request(dfms, sleepy_flow(n=1, duration=3))) is None
+    assert dfms.server.running_count == 1
+    dfms.env.run()
+    states = [e.state for e in dfms.server.executions()]
+    assert states == [ExecutionState.COMPLETED]
+
+
+def test_submit_oneway_drops_invalid_documents_silently(dfms):
+    flow = flow_builder("typo").step("s", "no.such.op").build()
+    assert dfms.server.submit_oneway(make_request(dfms, flow)) is None
+    assert dfms.server.executions() == []
+
+
+def test_submit_oneway_swallows_status_queries(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow()))
+    before = dfms.server.running_count
+    dfms.server.submit_oneway(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=FlowStatusQuery(request_id=ack.request_id)))
+    assert dfms.server.running_count == before
+
+
+# -- control surface on unknown / terminal ids -------------------------------
+
+
+@pytest.mark.parametrize("control", ["pause", "resume", "cancel"])
+def test_control_of_unknown_request_raises(dfms, control):
+    with pytest.raises(UnknownRequestError):
+        getattr(dfms.server, control)("matrix-1.dgr-999999")
+
+
+@pytest.mark.parametrize("control", ["pause", "resume", "cancel"])
+def test_control_of_terminal_execution_raises(dfms, control):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow(n=1, duration=1)))
+    dfms.env.run()
+    assert dfms.server.execution(ack.request_id).state.is_terminal
+    with pytest.raises(InvalidTransition):
+        getattr(dfms.server, control)(ack.request_id)
+
+
+def test_resume_of_running_unpaused_execution_raises(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow()))
+    with pytest.raises(InvalidTransition):
+        dfms.server.resume(ack.request_id)
+
+
+# -- sync submission vs mid-flow control -------------------------------------
+
+
+def test_sync_submit_cancelled_mid_flow_returns_cancelled_status(dfms):
+    request = make_request(dfms, sleepy_flow(n=4, duration=5),
+                           asynchronous=False)
+
+    def canceller():
+        yield dfms.env.timeout(7.0)     # mid-step s1
+        dfms.server.cancel(dfms.server.executions()[0].request_id)
+
+    def scenario():
+        dfms.env.process(canceller())
+        response = yield dfms.env.process(dfms.server.submit_sync(request))
+        return response
+
+    response = dfms.run(scenario())
+    assert response.body.state is ExecutionState.CANCELLED
+    # Cancellation lands at the running step's boundary, well short of
+    # the 20s the full flow would have taken.
+    assert dfms.env.now == 10.0
+
+
+# -- status granularity (max_depth) ------------------------------------------
+
+
+def test_status_query_max_depth_zero_prunes_children(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow()))
+    response = dfms.server.submit(DataGridRequest(
+        user=dfms.alice.qualified_name, virtual_organization="vo",
+        body=FlowStatusQuery(request_id=ack.request_id, max_depth=0)))
+    assert response.body.children == []
+    full = dfms.server.status(ack.request_id)
+    assert len(full.children) == 3      # the tree itself is intact
+
+
+def test_status_snapshot_is_detached_at_every_depth(dfms):
+    ack = dfms.server.submit(make_request(dfms, sleepy_flow()))
+    shallow = dfms.server.status(ack.request_id, max_depth=1)
+    assert [child.children for child in shallow.children] == [[], [], []]
+    live = dfms.server.execution(ack.request_id).status
+    shallow.children[0].name = "mutated"
+    assert live.children[0].name == "s0"
