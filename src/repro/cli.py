@@ -21,7 +21,11 @@ Operator-facing utilities over DGL documents and the simulated grid:
   report;
 * ``farm``      — fan the seeded chaos sweep across all cores with the
   :mod:`repro.farm` runner and print per-seed invariant results,
-  signatures, and sweep throughput.
+  signatures, and sweep throughput;
+* ``federation`` — run the multi-zone federation chaos sweep
+  (:mod:`repro.federation.chaos`): cross-zone copies under zone outages
+  and bridge degradations, with per-seed survival invariants and the
+  sweep fingerprint.
 
 Exposed as the ``datagridflow`` and ``repro`` console scripts (see
 ``pyproject.toml``) and runnable as ``python -m repro.cli``.
@@ -444,6 +448,65 @@ def _cmd_gateway(args) -> int:
     return 0
 
 
+def _cmd_federation(args) -> int:
+    import hashlib
+    import json
+
+    from repro.federation import run_federation_sweep, sweep_fingerprint
+
+    seeds = _parse_seeds(args.seeds)
+    reports = run_federation_sweep(
+        seeds=seeds, jobs=args.jobs or None,
+        faults=not args.no_faults, recovery=not args.no_recovery,
+        n_zones=args.zones, placement_policy=args.policy)
+    rows = []
+    failures = 0
+    for report in reports:
+        digest = hashlib.sha256(
+            repr(report.signature).encode()).hexdigest()[:12]
+        if not report.ok:
+            failures += 1
+        rows.append((report.seed, f"{report.makespan:.2f}",
+                     f"{report.copies_completed}/{report.copies_attempted}",
+                     report.faults_begun, report.stale_misses,
+                     report.wrong_answers,
+                     "ok" if report.ok else "VIOLATED", digest))
+    header = ("seed", "makespan_s", "copies", "faults", "stale", "wrong",
+              "invariants", "signature")
+    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+              for i in range(len(header))] if rows else [len(h)
+                                                         for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    print(f"{len(seeds)} seed(s), {args.zones} zones, "
+          f"policy {args.policy}; {failures} invariant failure(s); "
+          f"fingerprint {sweep_fingerprint(reports)[:12]}")
+    for report in reports:
+        for violation in report.violations:
+            print(f"  seed {report.seed}: {violation}", file=sys.stderr)
+    if args.json is not None:
+        _write(args.json, json.dumps({
+            "seeds": seeds, "zones": args.zones, "policy": args.policy,
+            "faults": not args.no_faults, "recovery": not args.no_recovery,
+            "fingerprint_sha256": sweep_fingerprint(reports),
+            "reports": [{
+                "seed": report.seed, "ok": report.ok,
+                "makespan_s": report.makespan,
+                "copies_attempted": report.copies_attempted,
+                "copies_completed": report.copies_completed,
+                "copies_failed": report.copies_failed,
+                "faults_begun": report.faults_begun,
+                "stale_misses": report.stale_misses,
+                "wrong_answers": report.wrong_answers,
+                "rls": report.rls_stats,
+                "recovery_actions": report.recovery_actions,
+                "violations": report.violations,
+            } for report in reports],
+        }, indent=2))
+    return 1 if failures else 0
+
+
 # -- entry point ------------------------------------------------------------
 
 
@@ -577,6 +640,30 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--json", default=None,
                          help="also write the curve as JSON ('-' = stdout)")
     gateway.set_defaults(handler=_cmd_gateway)
+
+    federation = commands.add_parser(
+        "federation",
+        help="run the multi-zone chaos sweep and print per-seed survival")
+    federation.add_argument("--seeds", default="10",
+                            help="a count ('10' = seeds 0..9) or an "
+                                 "explicit comma-separated seed list "
+                                 "(default: 10)")
+    federation.add_argument("--jobs", type=int, default=0,
+                            help="worker processes (default: all usable "
+                                 "cores; 1 = run serially in-process)")
+    federation.add_argument("--zones", type=int, default=3,
+                            help="federated zones per run (default: 3)")
+    federation.add_argument("--policy", default="bridge-cost-aware",
+                            help="cross-zone placement policy (default: "
+                                 "bridge-cost-aware)")
+    federation.add_argument("--no-faults", action="store_true",
+                            help="run the workload without zone chaos")
+    federation.add_argument("--no-recovery", action="store_true",
+                            help="run without per-zone recovery services")
+    federation.add_argument("--json", default=None,
+                            help="also write a JSON report here "
+                                 "('-' = stdout)")
+    federation.set_defaults(handler=_cmd_federation)
 
     return parser
 

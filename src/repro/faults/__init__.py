@@ -16,6 +16,7 @@ against randomized schedules and checks the survival invariants.
 """
 
 from repro.faults.model import (
+    BridgeDegradation,
     DomainOutage,
     FaultDriver,
     FaultSchedule,
@@ -23,6 +24,7 @@ from repro.faults.model import (
     LinkDegradation,
     LinkOutage,
     StorageOutage,
+    ZoneOutage,
     attach_faults,
 )
 from repro.faults.recovery import (
@@ -33,6 +35,7 @@ from repro.faults.recovery import (
 )
 
 __all__ = [
+    "BridgeDegradation",
     "DomainOutage",
     "FaultDriver",
     "FaultSchedule",
@@ -43,6 +46,7 @@ __all__ = [
     "RecoveryService",
     "RetryPolicy",
     "StorageOutage",
+    "ZoneOutage",
     "attach_faults",
     "attach_recovery",
 ]

@@ -45,6 +45,8 @@ __all__ = [
     "LinkOutage",
     "LinkDegradation",
     "FlakyWindow",
+    "ZoneOutage",
+    "BridgeDegradation",
     "FaultSchedule",
     "FaultDriver",
     "attach_faults",
@@ -182,6 +184,59 @@ class FlakyWindow(FaultEvent):
         return self.resource
 
 
+@dataclass(frozen=True)
+class ZoneOutage(FaultEvent):
+    """A whole federated zone goes dark for the window: every physical
+    resource in the zone goes offline and every intra-zone link drops.
+
+    Zone events target a :class:`~repro.grid.federation.Federation`, not a
+    single datagrid — arm them with a
+    :class:`~repro.federation.chaos.FederationFaultDriver` (a plain
+    :class:`FaultDriver` rejects them at arm time)."""
+
+    zone: str = ""
+
+    kind: ClassVar[str] = "zone-outage"
+
+    @property
+    def target(self) -> str:
+        return self.zone
+
+
+@dataclass(frozen=True)
+class BridgeDegradation(FaultEvent):
+    """The inter-zone bridge between two zones loses bandwidth: its
+    effective rate is scaled by ``factor`` for the window. Overlapping
+    degradations of the same bridge compose multiplicatively.
+
+    Like :class:`ZoneOutage`, this targets a federation and needs a
+    :class:`~repro.federation.chaos.FederationFaultDriver`."""
+
+    zone_a: str = ""
+    zone_b: str = ""
+    factor: float = 0.5
+
+    kind: ClassVar[str] = "bridge-degradation"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.factor < 1.0:
+            raise FaultError(
+                f"degradation factor must be in (0, 1), got {self.factor}")
+
+    @property
+    def ends(self) -> FrozenSet[str]:
+        return frozenset((self.zone_a, self.zone_b))
+
+    @property
+    def target(self) -> str:
+        return "~~".join(sorted((self.zone_a, self.zone_b)))
+
+
+#: Event kinds that target a federation rather than one datagrid.
+ZONE_EVENT_TYPES = (ZoneOutage, BridgeDegradation)
+
+
 class FaultSchedule:
     """An ordered list of fault events (plain data; arming is separate)."""
 
@@ -310,11 +365,49 @@ class FaultDriver:
             end.callbacks.append(lambda _e, ev=event: self._end(ev))
         return self
 
+    # -- composable hold/release (for higher-level drivers) ------------------
+    #
+    # Zone-scoped chaos (repro.federation.chaos) reuses this driver's
+    # refcounted mechanics without a schedule of its own: a zone outage is
+    # "hold every resource and link of the zone, then release them". The
+    # holds share the refcounts with any armed schedule, so overlapping
+    # zone and intra-zone faults still come back exactly once.
+
+    def hold_storage(self, name: str) -> None:
+        """Take the physical resource ``name`` offline (refcounted)."""
+        self.dgms.resources.physical(name)   # raises on unknown names
+        self._storage_begin(name)
+
+    def release_storage(self, name: str) -> None:
+        """Drop one hold on ``name``; it comes back online at zero holds."""
+        self._storage_end(name)
+
+    def hold_link(self, a: str, b: str) -> None:
+        """Drop the direct link ``a--b`` (refcounted); in-flight transfers
+        are interrupted exactly as for a scheduled :class:`LinkOutage`."""
+        ends = frozenset((a, b))
+        if ends not in self._base:
+            link = self.dgms.topology.link_between(a, b)
+            if link is None:
+                raise FaultError(
+                    f"no link {'--'.join(sorted((a, b)))} to fault")
+            self._base[ends] = link
+        self._link_down_begin(ends)
+
+    def release_link(self, a: str, b: str) -> None:
+        """Drop one hold on ``a--b``; it reconnects at zero holds (with
+        any still-open degradations composed back in)."""
+        self._link_down_end(frozenset((a, b)))
+
     # -- arming-time resolution ---------------------------------------------
 
     def _resolve_targets(self) -> None:
         topology = self.dgms.topology
         for event in self.schedule:
+            if isinstance(event, ZONE_EVENT_TYPES):
+                raise FaultError(
+                    f"{event.kind} targets a federation, not one datagrid; "
+                    "arm it with a FederationFaultDriver")
             if isinstance(event, (LinkOutage, LinkDegradation)):
                 link = topology.link_between(event.a, event.b)
                 if link is None:

@@ -1,0 +1,93 @@
+"""The federated namespace router: one logical tree over many zones.
+
+The paper's federation story (§2.1) is that a user at one zone addresses
+any peer zone's data with the same logical-name syntax they use at home.
+:class:`FederatedNamespace` is that front door: it owns nothing — each
+zone keeps its autonomous namespace and catalog — and only *routes*
+``zone:/path`` names (plain paths go to the caller's default zone),
+plus guid-level location through the federation's replica location
+service.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FederationError
+from repro.grid.federation import Federation, qualify, split_zone_path
+
+__all__ = ["FederatedNamespace"]
+
+
+class FederatedNamespace:
+    """``zone:/path`` resolution over a :class:`Federation`.
+
+    One router per *vantage zone*: plain paths resolve in
+    ``default_zone``, qualified names anywhere. Mirrors the
+    :class:`~repro.grid.namespace.LogicalNamespace` query surface
+    (resolve / resolve_object / resolve_collection / exists) so
+    call-sites can switch from a single grid to a federation without
+    changing shape.
+    """
+
+    def __init__(self, federation: Federation, default_zone: str) -> None:
+        self.federation = federation
+        federation.zone(default_zone)   # raises on unknown zones
+        self.default_zone = default_zone
+
+    # -- name plumbing --------------------------------------------------------
+
+    def split(self, name: str) -> Tuple[str, str]:
+        """``name`` as an explicit (zone, path) pair."""
+        zone_name, path = split_zone_path(name)
+        return zone_name or self.default_zone, path
+
+    def qualify(self, name: str) -> str:
+        """``name`` in fully-qualified ``zone:/path`` form."""
+        zone_name, path = self.split(name)
+        return qualify(zone_name, path)
+
+    def zone_of(self, name: str):
+        """The datagrid ``name`` routes to."""
+        return self.federation.zone(self.split(name)[0])
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, name: str):
+        """The node at ``name`` (collection or object), routed to its zone."""
+        zone_name, path = self.split(name)
+        return self.federation.zone(zone_name).namespace.resolve(path)
+
+    def resolve_object(self, name: str):
+        """The data object at ``name``, routed to its zone."""
+        zone_name, path = self.split(name)
+        return self.federation.zone(zone_name).namespace.resolve_object(path)
+
+    def resolve_collection(self, name: str):
+        """The collection at ``name``, routed to its zone."""
+        zone_name, path = self.split(name)
+        return self.federation.zone(zone_name).namespace.resolve_collection(
+            path)
+
+    def exists(self, name: str) -> bool:
+        """True when ``name`` resolves in its zone (False for unknown
+        zones: an unreachable name does not exist from this vantage)."""
+        try:
+            zone_name, path = self.split(name)
+            dgms = self.federation.zone(zone_name)
+        except FederationError:
+            return False
+        return dgms.namespace.exists(path)
+
+    # -- guid-level location --------------------------------------------------
+
+    def locate(self, guid: str):
+        """Federation-wide replica locations for ``guid`` (through the
+        attached RLS; see :meth:`Federation.locate`)."""
+        return self.federation.locate(guid)
+
+    def zones_holding(self, guid: str) -> List[str]:
+        """Zones the RLS currently locates ``guid`` in, sorted."""
+        result = self.federation.locate(guid)
+        zones = {location.zone: None for location in result.locations}
+        return sorted(zones)

@@ -10,7 +10,13 @@ from repro.grid.catalog import GridCatalog
 from repro.grid.dgms import DataGridManagementSystem, OperationRecord
 from repro.grid.domains import AdministrativeDomain, DomainRegistry, DomainRole
 from repro.grid.events import EventBus, EventKind, EventPhase, NamespaceEvent
-from repro.grid.federation import Federation, split_zone_path
+from repro.grid.federation import (
+    Bridge,
+    Federation,
+    qualify,
+    split_zone_path,
+    validate_zone_name,
+)
 from repro.grid.gfs import GridFileSystem, GridStat
 from repro.grid.metadata import AVU, MetadataSet, MetadataValue
 from repro.grid.namespace import (
@@ -43,6 +49,7 @@ __all__ = [
     "AdministrativeDomain", "DomainRegistry", "DomainRole",
     "User", "UserRegistry", "AccessControlList", "Permission",
     "EventBus", "EventKind", "EventPhase", "NamespaceEvent",
-    "Federation", "split_zone_path",
+    "Bridge", "Federation", "split_zone_path", "validate_zone_name",
+    "qualify",
     "GridFileSystem", "GridStat",
 ]

@@ -173,6 +173,15 @@ class GridCatalog:
         """The indexed object with ``guid``, if any."""
         return self._by_guid.get(guid)
 
+    def guids(self) -> List[str]:
+        """Every indexed guid, in registration order.
+
+        This is the membership view a per-zone Local Replica Catalog
+        (:mod:`repro.federation.rls`) digests and publishes; kept in
+        registration order so digest construction is deterministic.
+        """
+        return list(self._by_guid)
+
     def count_meta_eq(self, attribute: str, value: MetadataValue) -> int:
         """Upper bound on objects whose ``attribute`` equals ``value``."""
         count = len(self._meta_str.get(attribute, {}).get(str(value), ()))

@@ -85,6 +85,11 @@ class DataGridManagementSystem:
         #: query and replica selection runs fresh — keeping this module
         #: import-free of the dfms package.
         self.cache = None
+        #: Zone name once this datagrid joins a
+        #: :class:`~repro.grid.federation.Federation` (set by
+        #: ``Federation.add_zone``). ``None`` means unfederated; a grid
+        #: can belong to at most one federation.
+        self.zone_name: Optional[str] = None
         # Per-device I/O channel pools (for resources with a channel limit).
         self._io_slots: Dict[str, "Resource"] = {}
 
@@ -282,16 +287,21 @@ class DataGridManagementSystem:
 
     def put(self, user: User, path: str, size: float, logical_resource: str,
             source_domain: Optional[str] = None,
-            metadata: Optional[Dict[str, MetadataValue]] = None) -> Process:
+            metadata: Optional[Dict[str, MetadataValue]] = None,
+            guid: Optional[str] = None) -> Process:
         """Ingest a new data object at ``path`` onto ``logical_resource``.
 
         If ``source_domain`` is given the bytes travel over the network from
-        there to the chosen storage domain first.
+        there to the chosen storage domain first. ``guid`` adopts an
+        existing identity (the cross-zone copy path) instead of minting
+        a fresh one.
         """
         return self._spawn(self._put(
-            user, path, size, logical_resource, source_domain, metadata))
+            user, path, size, logical_resource, source_domain, metadata,
+            guid))
 
-    def _put(self, user, path, size, logical_resource, source_domain, metadata):
+    def _put(self, user, path, size, logical_resource, source_domain,
+             metadata, guid=None):
         parent = self.namespace.resolve_collection(parent_path(path))
         parent.acl.require(user, Permission.WRITE, parent.path)
         member = self.resources.logical(logical_resource).select_for_write(size)
@@ -300,7 +310,8 @@ class DataGridManagementSystem:
         start = self.env.now
         if source_domain is not None:
             yield from self._wan(source_domain, member.domain, size)
-        obj = self.namespace.create_object(path, size, user, self.env.now)
+        obj = self.namespace.create_object(path, size, user, self.env.now,
+                                           guid=guid)
         replica = Replica(obj.guid, logical_resource, member.domain,
                           member.name, self.env.now,
                           replica_number=self.namespace.next_replica_number())

@@ -337,6 +337,12 @@ class LogicalNamespace:
         #: Attached telemetry session (set by ``attach_telemetry``); the
         #: query planner reports access-path metrics through it.
         self.telemetry = None
+        #: GUID authority tag. Empty for a standalone grid (guids are
+        #: namespace-scoped); :meth:`~repro.grid.federation.Federation.
+        #: add_zone` sets it to the zone name so every federated zone
+        #: mints federation-unique guids (``guid-<zone>-<n>``) — the
+        #: replica location service indexes by guid across zones.
+        self.guid_authority = ""
         self._guid_counter = itertools.count(1)
         self._replica_counter = itertools.count(1)
         self.root = Collection(name="", owner=None, created_at=0.0)
@@ -348,7 +354,10 @@ class LogicalNamespace:
     # -- identities ---------------------------------------------------------
 
     def next_guid(self) -> str:
-        """Mint the next data-object GUID (namespace-scoped, deterministic)."""
+        """Mint the next data-object GUID (deterministic; qualified by
+        :attr:`guid_authority` when this namespace is a federated zone)."""
+        if self.guid_authority:
+            return f"guid-{self.guid_authority}-{next(self._guid_counter):08d}"
         return f"guid-{next(self._guid_counter):08d}"
 
     def next_replica_number(self) -> int:
@@ -382,6 +391,10 @@ class LogicalNamespace:
     def lookup_guid(self, guid: str) -> Optional["DataObject"]:
         """The data object with ``guid``, via the catalog (O(1))."""
         return self.catalog.lookup_guid(guid)
+
+    def guids(self) -> List[str]:
+        """Every attached object's guid, in registration order."""
+        return self.catalog.guids()
 
     def exists(self, path: str) -> bool:
         """True if ``path`` resolves."""
@@ -422,12 +435,24 @@ class LogicalNamespace:
         return collection
 
     def create_object(self, path: str, size: float, owner: Optional[User],
-                      created_at: float) -> DataObject:
-        """Register a new data object at ``path`` (no replicas yet)."""
+                      created_at: float,
+                      guid: Optional[str] = None) -> DataObject:
+        """Register a new data object at ``path`` (no replicas yet).
+
+        ``guid`` adopts an existing identity instead of minting one —
+        the cross-zone copy path uses this so a copied object stays *the
+        same logical object* (one guid, replicas in several zones). A
+        guid already present in this namespace is refused: within one
+        zone, more copies of an object are replicas, not new entries.
+        """
         path = normalize_path(path)
         parent = self.resolve_collection(parent_path(path))
+        if guid is not None and self.lookup_guid(guid) is not None:
+            raise NamespaceError(
+                f"guid {guid!r} already exists in this namespace; "
+                "replicate the existing object instead")
         obj = DataObject(basename(path), size, owner, created_at,
-                         guid=self.next_guid())
+                         guid=guid if guid is not None else self.next_guid())
         parent.attach(obj)
         return obj
 

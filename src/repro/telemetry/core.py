@@ -132,6 +132,10 @@ class Telemetry:
         self.gateway_queue_wait = metric.histogram(
             "gateway_queue_wait_seconds",
             "Virtual time from admission to dequeue", ["gateway"])
+        self.gateway_coalesced = metric.counter(
+            "gateway_coalesced_total",
+            "Duplicate same-instant status polls answered from one "
+            "server call", ["gateway"])
         # -- DGMS cache tier -----------------------------------------------
         self.cache_requests = metric.counter(
             "dgms_cache_requests_total",
@@ -141,6 +145,25 @@ class Telemetry:
             "dgms_cache_invalidations_total",
             "Cache entries dropped by precise invalidation, by cause",
             ["cause"])
+        # -- federation (RLS + cross-zone copies) --------------------------
+        self.rls_lookups = metric.counter(
+            "rls_lookups_total",
+            "Replica location lookups, by outcome", ["outcome"])
+        self.rls_shards_touched = metric.counter(
+            "rls_shards_touched_total",
+            "Index shards consulted across all lookups")
+        self.rls_digest_checks = metric.counter(
+            "rls_digest_checks_total",
+            "Zone-digest membership tests, by outcome", ["outcome"])
+        self.rls_staleness = metric.histogram(
+            "rls_digest_staleness_seconds",
+            "Age of the oldest digest consulted per lookup")
+        self.federation_copies = metric.counter(
+            "federation_copies_total",
+            "Cross-zone copies, by outcome", ["outcome"])
+        self.federation_bridge_bytes = metric.counter(
+            "federation_bridge_bytes_total",
+            "Bytes carried across inter-zone bridges")
         # Per-kind engine counter cache: the deferred engine events fold
         # (collect) skips the labels() keyword plumbing on repeat kinds.
         self._engine_kind_counters = {}

@@ -5,6 +5,8 @@ from repro.workloads.chaos import (
     default_chaos_seeds,
     run_chaos,
     run_chaos_sweep,
+    run_federation_chaos,
+    run_federation_sweep,
     run_signature,
 )
 from repro.workloads.generators import (
@@ -37,6 +39,7 @@ __all__ = [
     "Scenario", "bbsrc_scenario", "cms_scenario", "scec_scenario",
     "ucsd_library_scenario",
     "ChaosReport", "run_chaos", "run_chaos_sweep", "run_signature",
+    "run_federation_chaos", "run_federation_sweep",
     "default_chaos_seeds",
     "TrafficGenerator", "TrafficProfile", "TrafficStats", "pareto_gaps",
     "run_saturation_point", "run_saturation_curve",

@@ -47,6 +47,7 @@ from repro.telemetry.instrument import (
 from repro.workloads.scenarios import Scenario, cms_scenario
 
 __all__ = ["ChaosReport", "ObserveReport", "run_chaos", "run_chaos_sweep",
+           "run_federation_chaos", "run_federation_sweep",
            "run_signature", "CHAOS_POLICY", "default_chaos_seeds"]
 
 #: Generous budget: a chaos outage can hold a resource down for a fifth
@@ -435,3 +436,28 @@ def run_chaos_sweep(seeds: Optional[List[int]] = None,
     if seeds is None:
         seeds = default_chaos_seeds()
     return run_farm(run_chaos, seeds, jobs=jobs, kwargs=kwargs)
+
+
+def run_federation_chaos(seed: int, **kwargs):
+    """Multi-zone chaos: one seeded federation run (thin forwarder).
+
+    The zone-scoped counterpart of :func:`run_chaos` — cross-zone copy
+    workloads under :class:`~repro.faults.model.ZoneOutage` /
+    :class:`~repro.faults.model.BridgeDegradation` schedules, with the
+    federation survival invariants checked. Lives in
+    :mod:`repro.federation.chaos` (which borrows this module's
+    :data:`CHAOS_POLICY`); imported lazily here so the single-grid chaos
+    harness stays importable without the federation package.
+    """
+    from repro.federation.chaos import run_federation_chaos as run
+
+    return run(seed, **kwargs)
+
+
+def run_federation_sweep(seeds: Optional[List[int]] = None,
+                         jobs: Optional[int] = None, **kwargs):
+    """Multi-zone chaos sweep, farmed like :func:`run_chaos_sweep`
+    (thin forwarder to :mod:`repro.federation.chaos`)."""
+    from repro.federation.chaos import run_federation_sweep as run
+
+    return run(seeds=seeds, jobs=jobs, **kwargs)

@@ -156,6 +156,85 @@ def test_status_queries_are_charged_fractionally(dfms):
     assert outcomes == [False, False, False, False, True]
 
 
+def counting_seam(gateway):
+    """Route ``_query_server`` through a list that records each call."""
+    calls = []
+    original = gateway._query_server
+
+    def counted(request):
+        calls.append(request)
+        return original(request)
+
+    gateway._query_server = counted
+    return calls
+
+
+def test_same_instant_duplicate_polls_are_coalesced(dfms):
+    gateway = make_gateway(dfms)
+    ack = gateway.submit(make_request(dfms, sleepy_flow(n=2, duration=10)))
+    dfms.env.run(until=5.0)
+    calls = counting_seam(gateway)
+    poll = lambda: gateway.submit(make_request(
+        dfms, FlowStatusQuery(request_id=ack.request_id)))
+    responses = [poll() for _ in range(3)]
+    # Three same-instant polls of one (request, granularity): one server
+    # call, the duplicates answered from the memo with the same response.
+    assert len(calls) == 1
+    assert gateway.coalesced == 2
+    assert gateway.stats()["coalesced"] == 2
+    assert responses[1] is responses[0] and responses[2] is responses[0]
+    assert responses[0].body.state is ExecutionState.RUNNING
+
+
+def test_polls_at_different_granularity_are_not_coalesced(dfms):
+    gateway = make_gateway(dfms)
+    ack = gateway.submit(make_request(dfms, sleepy_flow(n=2, duration=10)))
+    dfms.env.run(until=5.0)
+    calls = counting_seam(gateway)
+    for query in [FlowStatusQuery(request_id=ack.request_id),
+                  FlowStatusQuery(request_id=ack.request_id, max_depth=0),
+                  FlowStatusQuery(request_id=ack.request_id, path="sleepy")]:
+        gateway.submit(make_request(dfms, query))
+    # Same request id, three different (path, max_depth) granularities.
+    assert len(calls) == 3
+    assert gateway.coalesced == 0
+
+
+def test_status_memo_is_dropped_when_the_clock_moves(dfms):
+    gateway = make_gateway(dfms)
+    ack = gateway.submit(make_request(dfms, sleepy_flow(n=2, duration=10)))
+    dfms.env.run(until=5.0)
+    calls = counting_seam(gateway)
+    poll = lambda: gateway.submit(make_request(
+        dfms, FlowStatusQuery(request_id=ack.request_id)))
+    running = poll()
+    assert running.body.state is ExecutionState.RUNNING
+    dfms.env.run()   # the flow finishes; sim time moved on
+    done = poll()
+    # The memo was only good for the instant it was filled at.
+    assert len(calls) == 2
+    assert gateway.coalesced == 0
+    assert done.body.state is ExecutionState.COMPLETED
+
+
+def test_coalesced_polls_are_still_charged(dfms):
+    gateway = make_gateway(
+        dfms, default_policy=VOPolicy(rate=1.0, burst=2.0),
+        status_query_cost=1.0)
+    ack = gateway.submit(make_request(dfms, sleepy_flow(n=1, duration=10)))
+    dfms.env.run(until=5.0)
+    calls = counting_seam(gateway)
+    poll = lambda: gateway.submit(make_request(
+        dfms, FlowStatusQuery(request_id=ack.request_id)))
+    # Burst 2, cost 1: two polls pass (the second coalesced but still
+    # paid for), the third is throttled before the memo is consulted.
+    assert not poll().is_rejection
+    assert not poll().is_rejection
+    assert poll().is_rejection
+    assert len(calls) == 1
+    assert gateway.coalesced == 1
+
+
 # -- weighted-fair dequeue ---------------------------------------------------
 
 
