@@ -118,6 +118,17 @@ class Rule:
     def __init__(self, config: LintConfig) -> None:
         self.config = config
 
+    def finalize(self) -> List[Finding]:
+        """Program-scope findings, emitted after every file was visited.
+
+        Most rules are per-file and keep the default (empty). A
+        whole-program rule (the substream ledger) accumulates state in
+        its ``visit_*`` hooks across the shared-rule file loop and
+        resolves it here; each finding must carry the ``path`` of the
+        site it anchors to, so per-file suppressions still apply.
+        """
+        return []
+
 
 class LintContext:
     """Per-file facts shared by every rule, plus the finding sink."""
@@ -415,12 +426,36 @@ def _parse_noqa(source: str, path: str) -> Tuple[Dict[int, frozenset],
     return suppressed, reasons, hygiene
 
 
+def _apply_noqa(findings: Sequence[Finding], noqa: Dict[int, frozenset],
+                reasons: Dict[int, str], path: str
+                ) -> Tuple[List[Finding], List[Suppression]]:
+    """Split findings into (kept, suppressed) under one file's noqa map."""
+    kept: List[Finding] = []
+    suppressions: List[Suppression] = []
+    for finding in findings:
+        codes = noqa.get(finding.line)
+        if codes is not None and finding.code in codes:
+            suppressions.append(Suppression(
+                code=finding.code, path=path, line=finding.line,
+                reason=reasons[finding.line], message=finding.message))
+        else:
+            kept.append(finding)
+    return kept, suppressions
+
+
 def lint_source(source: str, path: str, config: LintConfig,
                 rules: Optional[Sequence[Rule]] = None
                 ) -> Tuple[List[Finding], List[Suppression]]:
-    """Lint one unit of source text; returns (findings, suppressions)."""
+    """Lint one unit of source text; returns (findings, suppressions).
+
+    With ``rules=None`` a fresh rule set is created *and finalized*, so
+    program-scope rules see a one-file program — this is what lets a
+    single fixture file exercise the substream ledger. Callers passing a
+    shared ``rules`` sequence (the multi-file driver) own finalization.
+    """
     from repro.analysis.rules import all_rules
-    if rules is None:
+    local_rules = rules is None
+    if local_rules:
         rules = all_rules(config)
     try:
         tree = ast.parse(source, filename=path)
@@ -430,17 +465,12 @@ def lint_source(source: str, path: str, config: LintConfig,
                         message=f"file does not parse: {exc.msg}")], []
     ctx = LintContext(path, source, tree, config)
     _Walker(rules, ctx).visit(tree)
+    findings = list(ctx.findings)
+    if local_rules:
+        for rule in rules:
+            findings.extend(rule.finalize())
     noqa, reasons, hygiene = _parse_noqa(source, path)
-    kept: List[Finding] = []
-    suppressions: List[Suppression] = []
-    for finding in ctx.findings:
-        codes = noqa.get(finding.line)
-        if codes is not None and finding.code in codes:
-            suppressions.append(Suppression(
-                code=finding.code, path=path, line=finding.line,
-                reason=reasons[finding.line], message=finding.message))
-        else:
-            kept.append(finding)
+    kept, suppressions = _apply_noqa(findings, noqa, reasons, path)
     kept.extend(hygiene)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return kept, suppressions
@@ -468,7 +498,15 @@ def iter_python_files(paths: Sequence[str],
 
 
 def lint_paths(paths: Sequence[str], config: Optional[LintConfig] = None):
-    """Lint files and/or directory trees; returns a :class:`Report`."""
+    """Lint files and/or directory trees; returns a :class:`Report`.
+
+    One shared rule set visits every file (program-scope rules
+    accumulate their cross-file ledgers that way), then each rule's
+    :meth:`Rule.finalize` runs once and its findings pass through the
+    suppression map of whichever file they anchor to — a reasoned noqa
+    on the flagged line waives a program finding exactly like a
+    per-file one.
+    """
     from repro.analysis.config import load_config
     from repro.analysis.report import Report
     if config is None:
@@ -477,13 +515,35 @@ def lint_paths(paths: Sequence[str], config: Optional[LintConfig] = None):
     rules = all_rules(config)
     findings: List[Finding] = []
     suppressions: List[Suppression] = []
+    noqa_maps: Dict[str, Tuple[Dict[int, frozenset], Dict[int, str]]] = {}
     scanned = 0
     for path in iter_python_files(paths, config.exclude):
         scanned += 1
         source = path.read_text(encoding="utf-8")
-        kept, waived = lint_source(source, path.as_posix(), config,
-                                   rules=rules)
+        posix = path.as_posix()
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                code=SYNTAX_CODE, path=posix, line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}"))
+            continue
+        ctx = LintContext(posix, source, tree, config)
+        _Walker(rules, ctx).visit(tree)
+        noqa, reasons, hygiene = _parse_noqa(source, posix)
+        noqa_maps[posix] = (noqa, reasons)
+        kept, waived = _apply_noqa(ctx.findings, noqa, reasons, posix)
+        kept.extend(hygiene)
         findings.extend(kept)
         suppressions.extend(waived)
+    for rule in rules:
+        for finding in rule.finalize():
+            noqa, reasons = noqa_maps.get(finding.path, ({}, {}))
+            kept, waived = _apply_noqa([finding], noqa, reasons,
+                                       finding.path)
+            findings.extend(kept)
+            suppressions.extend(waived)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return Report(findings=findings, suppressions=suppressions,
                   files_scanned=scanned, config_source=config.source)

@@ -18,22 +18,36 @@ from repro.errors import AnalysisError
 
 __all__ = ["Report", "render_text", "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 1
+#: v2 added the optional ``sanitizer`` payload (runtime schedule-
+#: sanitizer results embedded next to static findings); v1 documents
+#: are still readable — ``from_dict`` accepts both.
+SCHEMA_VERSION = 2
+
+_READABLE_VERSIONS = (1, SCHEMA_VERSION)
 
 
 @dataclass
 class Report:
-    """Outcome of one lint run."""
+    """Outcome of one lint (or sanitize) run."""
 
     findings: List[Finding] = field(default_factory=list)
     suppressions: List[Suppression] = field(default_factory=list)
     files_scanned: int = 0
     config_source: Optional[str] = None
+    #: Runtime sanitizer payload (``repro sanitize``): a mapping with
+    #: per-scenario order-independence proofs, race summaries, and any
+    #: permutation witnesses. None for pure lint runs.
+    sanitizer: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
-        """True when no live (non-suppressed) finding remains."""
-        return not self.findings
+        """True when no live finding remains and no proof was refuted."""
+        if self.findings:
+            return False
+        if self.sanitizer is not None and not self.sanitizer.get(
+                "proved", True):
+            return False
+        return True
 
     @property
     def exit_code(self) -> int:
@@ -62,6 +76,7 @@ class Report:
             "rules": rationale,
             "findings": [finding.to_dict() for finding in self.findings],
             "suppressions": [s.to_dict() for s in self.suppressions],
+            "sanitizer": self.sanitizer,
         }
 
     @classmethod
@@ -69,10 +84,11 @@ class Report:
         if data.get("tool") != "dgflint":
             raise AnalysisError(
                 f"not a dgflint report (tool={data.get('tool')!r})")
-        if data.get("schema_version") != SCHEMA_VERSION:
+        if data.get("schema_version") not in _READABLE_VERSIONS:
             raise AnalysisError(
                 f"unsupported report schema_version "
-                f"{data.get('schema_version')!r} (expected {SCHEMA_VERSION})")
+                f"{data.get('schema_version')!r} (expected one of "
+                f"{', '.join(str(v) for v in _READABLE_VERSIONS)})")
         return cls(
             findings=[Finding.from_dict(item)
                       for item in data.get("findings", [])],
@@ -80,6 +96,7 @@ class Report:
                           for item in data.get("suppressions", [])],
             files_scanned=int(data.get("files_scanned", 0)),
             config_source=data.get("config_source"),
+            sanitizer=data.get("sanitizer"),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -101,6 +118,8 @@ def render_text(report: Report, verbose_suppressions: bool = False) -> str:
         for item in report.suppressions:
             lines.append(f"{item.path}:{item.line}: {item.code} suppressed "
                          f"({item.reason})")
+    if report.sanitizer is not None:
+        lines.extend(_render_sanitizer(report.sanitizer))
     summary = ", ".join(f"{code}×{count}"
                         for code, count in report.counts().items())
     lines.append(
@@ -109,3 +128,33 @@ def render_text(report: Report, verbose_suppressions: bool = False) -> str:
         + f", {len(report.suppressions)} reasoned suppression(s), "
         + f"{report.files_scanned} file(s) scanned")
     return "\n".join(lines)
+
+
+def _render_sanitizer(payload: dict) -> List[str]:
+    """Terminal rendering of a ``repro sanitize`` payload."""
+    lines: List[str] = []
+    for scenario in payload.get("scenarios", []):
+        proof = scenario.get("proof", {})
+        verdict = "order-independent" if proof.get("proved") else "REFUTED"
+        lines.append(
+            f"sanitize {scenario.get('kind')} seed={scenario.get('seed')}: "
+            f"{verdict} ({proof.get('runs')} run(s), "
+            f"{proof.get('choice_batches')} choice batch(es), "
+            f"{proof.get('races_total')} race(s))")
+        witness = proof.get("witness")
+        if witness:
+            lines.append(
+                f"  witness: choice batch {witness['choice_batch']} at "
+                f"t={witness['time']} — signature "
+                f"{witness['baseline_signature']} -> "
+                f"{witness['permuted_signature']}")
+            lines.append("    baseline order: "
+                         + " | ".join(witness["baseline_order"]))
+            lines.append("    permuted order: "
+                         + " | ".join(witness["permuted_order"]))
+    verdict = ("proved" if payload.get("proved") else "refuted")
+    lines.append(
+        f"sanitizer: order-independence {verdict} over "
+        f"{len(payload.get('scenarios', []))} scenario(s), "
+        f"{payload.get('races_total', 0)} distinct race(s) observed")
+    return lines

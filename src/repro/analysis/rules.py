@@ -19,7 +19,7 @@ from repro.analysis.core import LintContext, Rule, split_tokens
 
 __all__ = ["RULES", "all_rules", "WallClock", "UnseededRandomness",
            "UnorderedIteration", "FloatEquality", "RetryContract",
-           "LabelCardinality"]
+           "LabelCardinality", "SubstreamLedger", "SharedModuleState"]
 
 
 # --------------------------------------------------------------------------
@@ -440,10 +440,316 @@ class LabelCardinality(Rule):
         return None
 
 
+# --------------------------------------------------------------------------
+# DGF007 — whole-program substream ledger
+# --------------------------------------------------------------------------
+
+
+def _module_of(path: str) -> str:
+    """Dotted module name for a source path (best-effort, src-layout).
+
+    ``src/repro/faults/recovery.py`` -> ``repro.faults.recovery``. Used
+    to join ``from m import CONST`` references with the module that
+    defines ``CONST``, so the ledger resolves stream-name constants
+    across files.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class SubstreamLedger(Rule):
+    """Cross-file ledger of ``RandomStreams.stream(name)`` draw sites.
+
+    A program-scope rule: ``visit_*`` hooks accumulate every draw site
+    and every module-level string constant across the shared-rule file
+    loop; :meth:`finalize` resolves names (literals, constants,
+    cross-file constant imports, f-string patterns) and flags each
+    stream name drawn from more than one subsystem scope.
+    """
+
+    code = "DGF007"
+    name = "substream-ledger"
+    rationale = (
+        "A named substream is one consumer's private randomness: that "
+        "isolation is what lets one component change how much it draws "
+        "without perturbing any other. When two subsystems (or two "
+        "classes) draw the same stream name, they either share one "
+        "Random — so their draw *interleaving* becomes part of the "
+        "trajectory and any same-timestamp reordering silently changes "
+        "both — or they independently reconstruct it, which silently "
+        "correlates randomness that looks independent. Either way the "
+        "collision must be explicit: hand the stream over in one place, "
+        "derive per-consumer names, or waive with the sharing contract "
+        "spelled out.")
+
+    #: Receiver identifier tokens that mark a ``.stream(...)`` call as a
+    #: RandomStreams draw (``streams.stream``, ``self._streams.stream``,
+    #: ``scenario.rng_streams.stream`` ...).
+    _RECEIVER_TOKENS = frozenset({"stream", "streams", "rng"})
+
+    def __init__(self, config: LintConfig) -> None:
+        super().__init__(config)
+        #: (module, CONST) -> string value, from module-level assigns.
+        self._constants: dict = {}
+        #: Draw sites: list of (key, path, scope_kind, scope, line, col)
+        #: where key is ("lit", value) or ("ref", module, const_name).
+        self._sites: list = []
+
+    def visit_Module(self, node: ast.Module, ctx: LintContext) -> None:
+        """Collect module-level string constants (stream-name homes)."""
+        module = _module_of(ctx.path)
+        for stmt in node.body:
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)):
+                self._constants[(module, stmt.targets[0].id)] = (
+                    stmt.value.value)
+
+    def _streamish(self, receiver: ast.AST) -> bool:
+        identifier = None
+        if isinstance(receiver, ast.Name):
+            identifier = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            identifier = receiver.attr
+        return (identifier is not None
+                and bool(split_tokens(identifier) & self._RECEIVER_TOKENS))
+
+    def _name_key(self, arg: ast.AST, ctx: LintContext):
+        """Resolve a stream-name argument to a ledger key, or None."""
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return ("lit", arg.value)
+        if isinstance(arg, ast.JoinedStr):
+            parts = []
+            for value in arg.values:
+                if isinstance(value, ast.Constant):
+                    parts.append(str(value.value))
+                else:
+                    parts.append("{}")
+            return ("lit", "".join(parts))
+        if isinstance(arg, ast.Name):
+            imported = ctx.from_imports.get(arg.id)
+            if imported is not None:
+                return ("ref", imported[0], imported[1])
+            return ("ref", _module_of(ctx.path), arg.id)
+        if (isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Add)):
+            # PREFIX + suffix concatenation: treat like an f-string
+            # pattern anchored on whichever side resolves.
+            left = self._name_key(arg.left, ctx)
+            right = self._name_key(arg.right, ctx)
+            left_lit = left[1] if left and left[0] == "lit" else "{}"
+            right_lit = right[1] if right and right[0] == "lit" else "{}"
+            if left or right:
+                return ("concat", left or ("lit", "{}"),
+                        right or ("lit", "{}"), left_lit + right_lit)
+        return None
+
+    def _scope(self, ctx: LintContext) -> tuple:
+        """(kind, name) of the innermost subsystem scope at this site."""
+        if ctx.class_stack:
+            return ("class", ctx.class_stack[-1].name)
+        if ctx.function_stack:
+            function = ctx.function_stack[0]
+            return ("function", getattr(function, "name", "<lambda>"))
+        return ("module", "<module>")
+
+    def visit_Call(self, node: ast.Call, ctx: LintContext) -> None:
+        """Record every ``<streams>.stream(<name>)`` draw site."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "stream"):
+            return
+        if not self._streamish(func.value):
+            return
+        if not node.args:
+            return
+        key = self._name_key(node.args[0], ctx)
+        if key is None:
+            return
+        kind, scope = self._scope(ctx)
+        self._sites.append((key, ctx.path, kind, scope,
+                            node.lineno, node.col_offset))
+
+    def _resolve(self, key) -> str:
+        """Final stream-name (or pattern) text for a ledger key."""
+        if key[0] == "lit":
+            return key[1]
+        if key[0] == "ref":
+            return self._constants.get((key[1], key[2]), f"<{key[2]}>")
+        # concat
+        return self._resolve(key[1]) + self._resolve(key[2])
+
+    def finalize(self) -> List["Finding"]:
+        from repro.analysis.core import Finding
+        by_name: dict = {}
+        for key, path, kind, scope, line, col in self._sites:
+            by_name.setdefault(self._resolve(key), []).append(
+                (path, kind, scope, line, col))
+        findings: List[Finding] = []
+        for name, sites in sorted(by_name.items()):
+            scopes = {(path, scope) for path, _kind, scope, _l, _c in sites}
+            if len(scopes) < 2:
+                continue
+            paths = {path for path, _scope in scopes}
+            class_scopes = {(path, scope)
+                            for path, kind, scope, _l, _c in sites
+                            if kind == "class"}
+            # Within one file, only distinct *classes* collide — separate
+            # top-level functions routinely build their own private
+            # RandomStreams families (tests, scenario builders).
+            if len(paths) < 2 and len(class_scopes) < 2:
+                continue
+            for path, kind, scope, line, col in sites:
+                others = sorted(
+                    f"{other_path}:{other_line} ({other_scope})"
+                    for other_path, _k, other_scope, other_line, _c2 in sites
+                    if (other_path, other_scope) != (path, scope))
+                if not others:
+                    continue
+                shown = ", ".join(others[:3])
+                if len(others) > 3:
+                    shown += f", +{len(others) - 3} more"
+                findings.append(Finding(
+                    code=self.code, path=path, line=line, col=col,
+                    message=f"substream {name!r} is also drawn at {shown}: "
+                            "shared streams couple consumers' draw order — "
+                            "derive per-consumer names or hand the stream "
+                            "over explicitly"))
+        return findings
+
+
+# --------------------------------------------------------------------------
+# DGF008 — module-level mutable state reachable from kernel processes
+# --------------------------------------------------------------------------
+
+
+class SharedModuleState(Rule):
+    """Flag module-level mutable containers mutated from functions."""
+
+    code = "DGF008"
+    name = "no-shared-module-state"
+    rationale = (
+        "A module-level dict/list/set mutated from inside functions is "
+        "state the kernel cannot see: it outlives every Environment, "
+        "leaks between back-to-back runs in one process, and diverges "
+        "across the seed-farm's worker processes — three ways for 'same "
+        "inputs, same seeds' to stop meaning 'same outputs'. Hang the "
+        "state off an object the run owns (the environment, a service, "
+        "a scenario), or pass it explicitly. Import-time population of "
+        "registries is fine; it is post-import mutation that aliases "
+        "runs together.")
+
+    _MUTABLE_CALLS = frozenset({"dict", "list", "set", "deque",
+                                "defaultdict", "OrderedDict", "Counter"})
+    _MUTATORS = frozenset({"append", "extend", "insert", "add", "discard",
+                           "remove", "pop", "popleft", "popitem",
+                           "appendleft", "extendleft", "clear", "update",
+                           "setdefault"})
+
+    def _mutable_ctor(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            return name in self._MUTABLE_CALLS
+        return False
+
+    @staticmethod
+    def _subscript_base(node: ast.AST):
+        if isinstance(node, ast.Subscript) and isinstance(node.value,
+                                                          ast.Name):
+            return node.value.id
+        return None
+
+    def _mutation_target(self, node: ast.AST):
+        """Name of the module global ``node`` mutates, if any."""
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.attr in self._MUTATORS):
+            return node.func.value.id
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                base = self._subscript_base(target)
+                if base is not None:
+                    return base
+        if isinstance(node, ast.AugAssign):
+            return self._subscript_base(node.target)
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                base = self._subscript_base(target)
+                if base is not None:
+                    return base
+        return None
+
+    def visit_Module(self, node: ast.Module, ctx: LintContext) -> None:
+        """Self-contained per-file pass (runs once, at the module node)."""
+        candidates: dict = {}
+        for stmt in node.body:
+            target = None
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                target = stmt.targets[0].id
+                value = stmt.value
+            elif (isinstance(stmt, ast.AnnAssign)
+                  and isinstance(stmt.target, ast.Name)
+                  and stmt.value is not None):
+                target = stmt.target.id
+                value = stmt.value
+            if target is not None and self._mutable_ctor(value):
+                candidates[target] = stmt
+        if not candidates:
+            return
+        mutators: dict = {}
+        for scope in ast.walk(node):
+            if not isinstance(scope, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            # A function that rebinds the name locally (no ``global``)
+            # mutates its own copy, not the module state.
+            local = {arg.arg for arg in scope.args.args}
+            local.update(arg.arg for arg in scope.args.kwonlyargs)
+            has_global = set()
+            for sub in ast.walk(scope):
+                if isinstance(sub, ast.Global):
+                    has_global.update(sub.names)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            local.add(target.id)
+            local -= has_global
+            for sub in ast.walk(scope):
+                name = self._mutation_target(sub)
+                if (name in candidates and name not in local
+                        and name not in mutators):
+                    mutators[name] = (scope.name, sub.lineno)
+        for name in sorted(mutators):
+            function, line = mutators[name]
+            stmt = candidates[name]
+            ctx.report(self, stmt,
+                       f"module-level mutable {name!r} is mutated from "
+                       f"{function}() (line {line}): module state outlives "
+                       "the environment and aliases runs/processes "
+                       "together — own it from the run (env, service, "
+                       "scenario) or pass it explicitly")
+
+
 #: The shipped rule classes, in code order. ``docs/static-analysis.md``
 #: renders its catalog from these attributes.
 RULES = (WallClock, UnseededRandomness, UnorderedIteration, FloatEquality,
-         RetryContract, LabelCardinality)
+         RetryContract, LabelCardinality, SubstreamLedger,
+         SharedModuleState)
 
 
 def all_rules(config: LintConfig) -> List[Rule]:

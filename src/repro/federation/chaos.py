@@ -53,7 +53,7 @@ from repro.federation.scenario import FederationScenario, federation_scenario
 from repro.sim.rng import RandomStreams
 from repro.storage import MB
 from repro.telemetry.instrument import attach_telemetry
-from repro.workloads.chaos import CHAOS_POLICY
+from repro.workloads.chaos import CHAOS_POLICY, _coerce_sanitizer
 
 __all__ = [
     "FederationChaosReport",
@@ -62,6 +62,8 @@ __all__ = [
     "default_federation_seeds",
     "federation_fault_schedule",
     "federation_run_signature",
+    "federation_canonical_signature",
+    "prove_federation_order_independence",
     "run_federation_chaos",
     "run_federation_sweep",
     "sweep_fingerprint",
@@ -284,6 +286,12 @@ class FederationChaosReport:
     violations: List[str] = field(default_factory=list)
     #: Bit-identity fingerprint (see :func:`federation_run_signature`).
     signature: Tuple = ()
+    #: Schedule-sanitizer summary (only with ``sanitize=...``): plain
+    #: :meth:`~repro.analysis.sanitizer.ScheduleSanitizer.to_dict`.
+    sanitizer: Optional[Dict] = None
+    #: Order-insensitive fingerprint (see
+    #: :func:`federation_canonical_signature`); sanitized runs only.
+    canonical: Tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -313,6 +321,38 @@ def federation_run_signature(scenario: FederationScenario) -> Tuple:
         scenario.federation.copies_failed,
         (rls.lookups, rls.hits, rls.misses, rls.false_positives,
          rls.lrc_queries),
+    )
+
+
+def federation_canonical_signature(scenario: FederationScenario) -> Tuple:
+    """Terminal-outcome fingerprint: what order-independence *means*.
+
+    Permutation proofs diff this, not :func:`federation_run_signature`
+    (which stays the exact replay pin). Covered: the makespan, every
+    zone's full replica placement (path → sorted physical homes), the
+    federation copy outcome counters, and the RLS lookup count.
+    Deliberately *not* covered: exact per-transfer float timings, byte
+    totals, and RLS hit/miss splits — retry jitter is drawn from
+    shared recovery substreams in arrival order (see
+    :func:`repro.workloads.chaos.canonical_signature` for the full
+    rationale), and a digest flush landing on an audit probe's
+    timestamp may legitimately be observed in either order (the
+    invariant is "stale but never wrong", checked separately).
+    """
+    zones = tuple(
+        (name,
+         tuple(sorted(
+             (obj.path,
+              tuple(sorted(replica.physical_name
+                           for replica in obj.good_replicas())))
+             for obj in scenario.zones[name].namespace.iter_objects("/"))))
+        for name in sorted(scenario.zones))
+    return (
+        scenario.env.now,
+        zones,
+        scenario.federation.copies_completed,
+        scenario.federation.copies_failed,
+        scenario.rls.lookups,
     )
 
 
@@ -513,21 +553,37 @@ def run_federation_chaos(seed: int, faults: bool = True,
                          horizon: float = 60.0, n_fault_events: int = 5,
                          sync_period_s: float = 4.0,
                          schedule: Optional[FaultSchedule] = None,
-                         placement_policy: str = "bridge-cost-aware"
-                         ) -> FederationChaosReport:
+                         placement_policy: str = "bridge-cost-aware",
+                         sanitize=None) -> FederationChaosReport:
     """One federation chaos run: cross-zone copies and a locate audit
     under a seeded zone-scoped fault schedule.
 
     ``faults=False`` runs the identical workload with no schedule (the
     bit-identity baseline); ``recovery=False`` leaves every zone
     fail-fast. Pass ``schedule`` to replay a known schedule instead of
-    drawing one from the seed.
+    drawing one from the seed. ``sanitize`` attaches the schedule
+    sanitizer exactly as in :func:`repro.workloads.chaos.run_chaos` —
+    with permutation off the dispatch order (and therefore the pinned
+    :func:`federation_run_signature`) is untouched.
     """
     scenario = federation_scenario(
         n_zones=n_zones, domains_per_zone=domains_per_zone,
         objects_per_zone=objects_per_zone, object_size=object_size,
         seed=seed, sync_period_s=sync_period_s)
     attach_telemetry(scenario.env)
+    sanitizer = _coerce_sanitizer(sanitize)
+    if sanitizer is not None:
+        sanitizer.attach(scenario.env)
+        # Before recovery/fault attachment: spawn() children (the
+        # per-zone recovery families) and later-pulled substreams
+        # (workload stagger, fault schedule) inherit draw tracking.
+        sanitizer.track_streams(scenario.streams)
+        for name in sorted(scenario.zones):
+            dgms = scenario.zones[name]
+            sanitizer.track_object(f"{name}.transfers", dgms.transfers)
+            sanitizer.track_object(f"{name}.namespace", dgms.namespace)
+        sanitizer.track_object("rls", scenario.rls)
+        sanitizer.track_object("federation", scenario.federation)
     services: Dict[str, object] = {}
     if recovery:
         for zone in sorted(scenario.zones):
@@ -568,7 +624,38 @@ def run_federation_chaos(seed: int, faults: bool = True,
     )
     report.violations = _check_federation_invariants(
         scenario, driver, services, copies, audits)
+    if sanitizer is not None:
+        sanitizer.detach()
+        report.sanitizer = sanitizer.to_dict()
+        # A permuted schedule that breaks a survival invariant must
+        # refute the proof even if the terminal placement matches.
+        report.canonical = (federation_canonical_signature(scenario)
+                            + (tuple(report.violations),))
     return report
+
+
+def prove_federation_order_independence(seed: int, *,
+                                        order: str = "reverse",
+                                        permute_seed: int = 0,
+                                        max_runs: int = 40, **kwargs):
+    """Prove (or refute with a minimized witness) that the federation
+    chaos run for ``seed`` is independent of legal same-timestamp
+    dispatch order — the zone-scoped counterpart of
+    :func:`repro.workloads.chaos.prove_chaos_order_independence`.
+    """
+    from repro.analysis.sanitizer import (
+        ScheduleSanitizer,
+        prove_order_independence,
+    )
+
+    def _run(config):
+        sanitizer = ScheduleSanitizer(config)
+        report = run_federation_chaos(seed, sanitize=sanitizer, **kwargs)
+        return report.canonical, sanitizer
+
+    return prove_order_independence(_run, order=order,
+                                    permute_seed=permute_seed,
+                                    max_runs=max_runs)
 
 
 def run_federation_sweep(seeds: Optional[List[int]] = None,

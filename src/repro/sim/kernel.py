@@ -447,7 +447,7 @@ class Environment:
     # access skips the instance-dict lookup on every one of those.
     __slots__ = ("_now", "_queue", "_current", "_urgent", "_eid",
                  "_active_process", "_telemetry", "_lifetimes",
-                 "__weakref__")
+                 "_sanitizer", "__weakref__")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -469,6 +469,11 @@ class Environment:
         #: reads only this, so a telemetry-off run never touches the
         #: session object on the hot path.
         self._lifetimes: Optional[list] = None
+        #: Attached schedule sanitizer (duck-typed — the kernel imports
+        #: nothing from repro.analysis). While set, run()/step() dispatch
+        #: through ``_step_batch_sanitized``; the check happens once per
+        #: run()/step() call, so detached runs pay nothing per event.
+        self._sanitizer = None
 
     # -- clock ------------------------------------------------------------
 
@@ -625,6 +630,79 @@ class Environment:
             if not event._ok and not getattr(event, "defused", True):
                 raise event._value
 
+    def _step_batch_sanitized(self) -> bool:
+        """The ``_step_batch`` drain, routed through an attached sanitizer.
+
+        Same three-lane semantics as the hot loop, restructured so the
+        sanitizer sees the whole same-timestamp *ready pool*: the urgent
+        FIFO, the heap's same-time entries (already in eid order), and
+        the current FIFO are pre-drained into two local pools, and each
+        dispatch is chosen by :meth:`sanitizer.pick` — index 0 (the
+        non-permuting default) reproduces the normal dispatch order
+        bit-for-bit, because pool order is exactly heap-eid order, then
+        FIFO order, then arrival order, with the urgent pool always
+        preferred. Events scheduled mid-batch are absorbed after each
+        dispatch with a scheduled-by edge recorded, which is the
+        happens-before relation race detection and legal permutation
+        both respect. On an escaping exception the undrained remainder
+        is pushed back onto the lanes so no event is lost.
+        """
+        san = self._sanitizer
+        urgent = self._urgent
+        current = self._current
+        queue = self._queue
+        if not urgent and not current:
+            self._skip_stale()
+            if not queue:
+                return False
+            self._now = queue[0][0]
+        now = self._now
+        ready_urgent = list(urgent)
+        urgent.clear()
+        ready_normal = []
+        while queue and queue[0][0] == now:  # dgf: noqa[DGF004]: intentional exact identity — same batch-membership contract as _step_batch
+            ready_normal.append(heappop(queue)[3])
+        ready_normal.extend(current)
+        current.clear()
+        san.begin_batch(now, ready_urgent, ready_normal)
+        try:
+            while ready_urgent or ready_normal:
+                pool = ready_urgent if ready_urgent else ready_normal
+                event = pool.pop(san.pick(pool))
+                callbacks = event.callbacks
+                if callbacks is None or (
+                        event._maybe_stale and event._when != now):  # dgf: noqa[DGF004]: intentional exact identity — same staleness contract as _skip_stale
+                    continue
+                event.callbacks = None
+                san.on_dispatch(event, callbacks)
+                for callback in callbacks:
+                    callback(event)
+                if urgent:
+                    san.on_spawned(urgent, 0)
+                    ready_urgent.extend(urgent)
+                    urgent.clear()
+                if current:
+                    san.on_spawned(current, 1)
+                    ready_normal.extend(current)
+                    current.clear()
+                san.after_dispatch()
+                if not event._ok and not getattr(event, "defused", True):
+                    raise event._value
+        finally:
+            if ready_urgent:
+                urgent.extendleft(reversed(ready_urgent))
+            if ready_normal:
+                current.extendleft(reversed(ready_normal))
+            san.end_batch()
+        return True
+
+    @property
+    def sanitizer(self):
+        """Attached :class:`repro.analysis.sanitizer.ScheduleSanitizer`,
+        or None (the default). Attach/detach through the sanitizer's own
+        methods, which keep both sides consistent."""
+        return self._sanitizer
+
     def peek(self) -> float:
         """Time of the next live scheduled event, or ``inf`` if none."""
         if self._urgent or self._current:
@@ -640,7 +718,9 @@ class Environment:
         same timestamp), not a single event: "one step" is one clock
         value. Raises :class:`SimStopped` when nothing live remains.
         """
-        if not self._step_batch():
+        step = (self._step_batch if self._sanitizer is None
+                else self._step_batch_sanitized)
+        if not step():
             raise SimStopped("no more events")
 
     def run(self, until: Optional[float] = None) -> None:
@@ -649,14 +729,15 @@ class Environment:
         When ``until`` is given, the clock is advanced exactly to it even if
         the queue drains earlier.
         """
+        step = (self._step_batch if self._sanitizer is None
+                else self._step_batch_sanitized)
         if until is not None:
             if until < self._now:
                 raise SimError(f"until={until} is in the past (now={self._now})")
             while self.peek() <= until:
-                self._step_batch()
+                step()
             self._now = float(until)
             return
-        step = self._step_batch
         while step():
             pass
 
@@ -670,7 +751,8 @@ class Environment:
         raised instead of an opaque "no more events".
         """
         proc = self.process(generator)
-        step = self._step_batch
+        step = (self._step_batch if self._sanitizer is None
+                else self._step_batch_sanitized)
         while proc.is_alive:
             if not step():
                 name = getattr(proc._generator, "__name__", None) or repr(proc)

@@ -110,6 +110,13 @@ class Telemetry:
             "recovery_actions_total",
             "Recovery actions (retry / resume / failover / restart)",
             ["kind"])
+        # -- schedule sanitizer (dgfsan) -----------------------------------
+        self.sanitizer_batches = metric.counter(
+            "sanitizer_batches_total",
+            "Same-timestamp batches inspected by the schedule sanitizer")
+        self.sanitizer_races = metric.counter(
+            "sanitizer_races_total",
+            "Schedule races reported, by conflict class", ["kind"])
         # -- catalog query planner -----------------------------------------
         self.catalog_queries = metric.counter(
             "catalog_queries_total",

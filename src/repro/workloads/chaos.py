@@ -48,7 +48,9 @@ from repro.workloads.scenarios import Scenario, cms_scenario
 
 __all__ = ["ChaosReport", "ObserveReport", "run_chaos", "run_chaos_sweep",
            "run_federation_chaos", "run_federation_sweep",
-           "run_signature", "CHAOS_POLICY", "default_chaos_seeds"]
+           "run_signature", "canonical_signature",
+           "prove_chaos_order_independence",
+           "CHAOS_POLICY", "default_chaos_seeds"]
 
 #: Generous budget: a chaos outage can hold a resource down for a fifth
 #: of the horizon, so retries must be able to outwait the longest window
@@ -108,6 +110,12 @@ class ChaosReport:
     signature: Tuple = ()
     #: Observability results (only when ``run_chaos(observe=True)``).
     observe: Optional[ObserveReport] = None
+    #: Schedule-sanitizer summary (only when ``run_chaos(sanitize=...)``):
+    #: plain :meth:`~repro.analysis.sanitizer.ScheduleSanitizer.to_dict`.
+    sanitizer: Optional[Dict] = None
+    #: Order-insensitive fingerprint (see :func:`canonical_signature`);
+    #: filled only for sanitized runs — permutation proofs diff this.
+    canonical: Tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -133,6 +141,70 @@ def run_signature(scenario: Scenario) -> Tuple:
                      for e in scenario.server.executions())),
         len(scenario.provenance.records()),
     )
+
+
+def canonical_signature(scenario: Scenario) -> Tuple:
+    """Terminal-outcome fingerprint: what order-independence *means*.
+
+    Permutation proofs diff this, not :func:`run_signature` (which
+    stays the exact replay pin). Covered: the makespan, the full
+    replica placement of every object (path → sorted physical homes),
+    and every execution's terminal state. Deliberately *not* covered:
+    exact per-transfer float timings, byte totals, and provenance
+    record counts — recovery retries draw backoff jitter from
+    substreams *shared* across consumers (``recovery/backoff``,
+    ``recovery/supervisor``), so two same-timestamp retries swap their
+    jitter values under reordering and attempt counts drift. That
+    draw-order sensitivity is pinned, shipped behaviour (the replay
+    contract fixes the order); DGF007 exists to keep new code from
+    adding more of it. What this signature proves is the paper-level
+    guarantee: under *every* legal same-timestamp schedule, the grid
+    converges to the same terminal state in the same sim time with all
+    survival invariants intact.
+    """
+    dgms = scenario.dgms
+    placement = tuple(sorted(
+        (obj.path,
+         tuple(sorted(replica.physical_name
+                      for replica in obj.good_replicas())))
+        for obj in dgms.namespace.iter_objects("/")))
+    return (
+        scenario.env.now,
+        placement,
+        tuple(sorted((e.request_id, e.state.value)
+                     for e in scenario.server.executions())),
+    )
+
+
+def _coerce_sanitizer(sanitize):
+    """Normalize ``run_chaos(sanitize=...)`` to a ScheduleSanitizer.
+
+    Accepts ``None`` (off), ``True`` (default config), a
+    :class:`~repro.analysis.sanitizer.SanitizeConfig`, or an existing
+    :class:`~repro.analysis.sanitizer.ScheduleSanitizer` (the proof
+    driver passes one in so it can read the run's results back).
+    Imported lazily so the workload stays importable without the
+    analysis package.
+    """
+    if sanitize is None or sanitize is False:
+        return None
+    from repro.analysis.sanitizer import SanitizeConfig, ScheduleSanitizer
+
+    if isinstance(sanitize, ScheduleSanitizer):
+        return sanitize
+    if isinstance(sanitize, SanitizeConfig):
+        return ScheduleSanitizer(sanitize)
+    return ScheduleSanitizer(SanitizeConfig())
+
+
+def _track_chaos_state(sanitizer, scenario: Scenario) -> None:
+    """Register the shared single-grid state the sanitizer watches."""
+    dgms = scenario.dgms
+    sanitizer.track_object("dgms.transfers", dgms.transfers)
+    sanitizer.track_object("dgms.namespace", dgms.namespace)
+    sanitizer.track_object("dgms.resources", dgms.resources)
+    sanitizer.track_object("server", scenario.server)
+    sanitizer.track_object("provenance", scenario.provenance)
 
 
 # --------------------------------------------------------------------------
@@ -306,7 +378,8 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
               observe: bool = False,
               observe_dump_path: Optional[str] = None,
               observe_export: bool = False,
-              cache: bool = False) -> ChaosReport:
+              cache: bool = False,
+              sanitize=None) -> ChaosReport:
     """One chaos run: CMS workload under a seeded fault schedule.
 
     ``faults=False`` runs the identical workload with no schedule
@@ -331,6 +404,15 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
     and its invalidation is precise, so a cached run's signature must
     also be bit-identical — ``benchmarks/test_e24_gateway.py`` sweeps
     this against the pinned baseline.
+
+    ``sanitize`` attaches the schedule sanitizer
+    (:mod:`repro.analysis.sanitizer`): ``True`` or a ``SanitizeConfig``
+    for race detection (and, with ``permute=True``, schedule
+    permutation), or a ``ScheduleSanitizer`` instance the caller wants
+    to read results back from. With permutation off the dispatch order
+    is untouched, so a sanitized run's :func:`run_signature` stays
+    bit-identical to an unsanitized one; the report gains
+    :attr:`ChaosReport.sanitizer` and :attr:`ChaosReport.canonical`.
     """
     scenario = cms_scenario(n_tier1=2, n_tier2_per_t1=1, n_events=n_events,
                             event_size=event_size, seed=seed)
@@ -343,7 +425,16 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
         obs = attach_observability(scenario.env, server=scenario.server,
                                    dgms=scenario.dgms,
                                    dump_path=observe_dump_path)
+    sanitizer = _coerce_sanitizer(sanitize)
+    if sanitizer is not None:
+        sanitizer.attach(scenario.env)
+        _track_chaos_state(sanitizer, scenario)
     streams = RandomStreams(seed)
+    if sanitizer is not None:
+        # Before any consumer pulls a substream, so the recovery
+        # backoff/supervisor draws (the shared-stream hazard DGF007
+        # exists for) are draw-tracked.
+        sanitizer.track_streams(streams)
     driver = None
     if faults:
         if schedule is None:
@@ -375,9 +466,43 @@ def run_chaos(seed: int, faults: bool = True, recovery: bool = True,
     )
     report.violations = _check_invariants(scenario, driver, service,
                                           supervisor)
+    if sanitizer is not None:
+        sanitizer.detach()
+        report.sanitizer = sanitizer.to_dict()
+        # A permuted schedule that breaks a survival invariant must
+        # refute the proof even if the terminal placement matches.
+        report.canonical = (canonical_signature(scenario)
+                            + (tuple(report.violations),))
     if obs is not None:
         report.observe = _observe_report(obs, report, observe_export)
     return report
+
+
+def prove_chaos_order_independence(seed: int, *, order: str = "reverse",
+                                   permute_seed: int = 0,
+                                   max_runs: int = 40, **kwargs):
+    """Prove (or refute with a minimized witness) that the chaos run for
+    ``seed`` is independent of legal same-timestamp dispatch order.
+
+    Drives :func:`repro.analysis.sanitizer.prove_order_independence`
+    over fresh :func:`run_chaos` instances, diffing
+    :func:`canonical_signature`; ``kwargs`` forward to every run (e.g.
+    ``horizon=``, ``n_fault_events=``). Returns a
+    :class:`~repro.analysis.sanitizer.PermutationProof`.
+    """
+    from repro.analysis.sanitizer import (
+        ScheduleSanitizer,
+        prove_order_independence,
+    )
+
+    def _run(config):
+        sanitizer = ScheduleSanitizer(config)
+        report = run_chaos(seed, sanitize=sanitizer, **kwargs)
+        return report.canonical, sanitizer
+
+    return prove_order_independence(_run, order=order,
+                                    permute_seed=permute_seed,
+                                    max_runs=max_runs)
 
 
 def _observe_report(obs, report: ChaosReport,

@@ -1,0 +1,26 @@
+"""BAD: two subsystem classes draw the same named substream.
+
+Whichever instance draws first perturbs the other — or, if each builds
+its own family, their "independent" randomness is silently identical.
+"""
+
+from repro.sim.rng import RandomStreams
+
+JITTER_STREAM = "svc/jitter"
+
+
+class BackoffTimer:
+    def __init__(self, streams: RandomStreams) -> None:
+        self.rng = streams.stream(JITTER_STREAM)
+
+    def delay(self) -> float:
+        return self.rng.uniform(0.5, 1.5)
+
+
+class ProbeScheduler:
+    def __init__(self, streams: RandomStreams) -> None:
+        # Same name as BackoffTimer's stream: the draws interleave.
+        self.rng = streams.stream("svc/jitter")
+
+    def next_probe(self) -> float:
+        return self.rng.uniform(1.0, 2.0)

@@ -1,0 +1,25 @@
+"""GOOD: every consumer derives its own substream name.
+
+Per-consumer names keep draw counts private: adding a draw to one
+component never shifts another component's sequence.
+"""
+
+from repro.sim.rng import RandomStreams
+
+JITTER_PREFIX = "svc/jitter"
+
+
+class BackoffTimer:
+    def __init__(self, streams: RandomStreams) -> None:
+        self.rng = streams.stream(f"{JITTER_PREFIX}/backoff")
+
+    def delay(self) -> float:
+        return self.rng.uniform(0.5, 1.5)
+
+
+class ProbeScheduler:
+    def __init__(self, streams: RandomStreams) -> None:
+        self.rng = streams.stream(f"{JITTER_PREFIX}/probe")
+
+    def next_probe(self) -> float:
+        return self.rng.uniform(1.0, 2.0)

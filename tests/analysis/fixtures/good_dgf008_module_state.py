@@ -1,0 +1,23 @@
+"""GOOD: the run owns its mutable state; module level holds constants.
+
+A per-service cache dies with the service (and the environment that
+owns it), so every run starts from the same blank slate.
+"""
+
+DEFAULT_HOPS = ("edge", "core", "edge")
+
+
+class Router:
+    def __init__(self, topology) -> None:
+        self.topology = topology
+        self._route_cache = {}
+        self.seen_zones = set()
+
+    def best_route(self, src: str, dst: str) -> list:
+        key = (src, dst)
+        if key not in self._route_cache:
+            self._route_cache[key] = self.topology.shortest_path(src, dst)
+        return self._route_cache[key]
+
+    def note_zone(self, zone: str) -> None:
+        self.seen_zones.add(zone)

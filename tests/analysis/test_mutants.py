@@ -1,0 +1,247 @@
+"""Mutation self-test: seeded order-dependence mutants, each caught.
+
+Every mutant below plants one classic order-dependence bug — the kind
+the schedule sanitizer and the new whole-program rules exist to catch —
+and the test asserts the tooling actually kills it:
+
+* runtime mutants run under :func:`prove_order_independence`, which
+  must refute with a witness (and, where the bug is a data race, the
+  sanitizer must also report it);
+* static mutants go through :func:`lint_source`, which must flag the
+  planted DGF007/DGF008 violation.
+
+An order-independent control workload rides along to prove the killers
+don't fire indiscriminately.
+"""
+
+from repro.analysis import lint_source
+from repro.analysis.config import LintConfig
+from repro.analysis.sanitizer import (
+    SanitizeConfig,
+    ScheduleSanitizer,
+    prove_order_independence,
+)
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+
+MUTANT_SEED = 11
+
+
+def _sanitized_env(config):
+    sanitizer = ScheduleSanitizer(config)
+    env = Environment()
+    sanitizer.attach(env)
+    return env, sanitizer
+
+
+def _finish(env, sanitizer, signature):
+    env.run()
+    sanitizer.detach()
+    return signature(), sanitizer
+
+
+# -- M1: read-modify-write on a shared dict key -----------------------------
+
+
+def _mutant_rmw(config):
+    env, sanitizer = _sanitized_env(config)
+    state = sanitizer.track_value("state", {"x": 0})
+
+    def double():
+        yield env.timeout(1)
+        state["x"] = state["x"] * 2
+
+    def add():
+        yield env.timeout(1)
+        state["x"] = state["x"] + 3
+
+    env.process(double())
+    env.process(add())
+    return _finish(env, sanitizer, lambda: (state["x"],))
+
+
+def test_mutant_rmw_shared_key_is_killed():
+    proof = prove_order_independence(_mutant_rmw)
+    assert not proof.proved
+    assert proof.witness is not None
+    assert proof.races_total > 0, "the RMW race itself must be reported"
+
+
+# -- M2: same-key write-write ----------------------------------------------
+
+
+def _mutant_write_write(config):
+    env, sanitizer = _sanitized_env(config)
+    state = sanitizer.track_value("winner", {})
+
+    def claim(name):
+        def run():
+            yield env.timeout(1)
+            state["slot"] = name
+        return run
+
+    env.process(claim("a")())
+    env.process(claim("b")())
+    return _finish(env, sanitizer, lambda: (state["slot"],))
+
+
+def test_mutant_last_write_wins_is_killed():
+    proof = prove_order_independence(_mutant_write_write)
+    assert not proof.proved
+    assert proof.races_total > 0
+
+
+# -- M3: order-sensitive read of an append log ------------------------------
+
+
+def _mutant_list_order(config):
+    env, sanitizer = _sanitized_env(config)
+    log = sanitizer.track_value("log", [])
+
+    def worker(name):
+        yield env.timeout(1)
+        log.append(name)
+
+    for index in range(3):
+        env.process(worker(f"w{index}"))
+    # The bug: downstream consumes arrival *order*, not the multiset.
+    return _finish(env, sanitizer, lambda: tuple(log))
+
+
+def test_mutant_order_sensitive_log_read_is_killed():
+    proof = prove_order_independence(_mutant_list_order)
+    assert not proof.proved
+    assert proof.witness is not None
+
+
+# -- M4: scheduling follow-up work by iterating a raw set -------------------
+
+
+def _mutant_set_iteration(config):
+    env, sanitizer = _sanitized_env(config)
+    arrivals = set()   # raw on purpose: the mutation under test
+    order = []
+
+    def arrive(key):
+        def run():
+            yield env.timeout(1)
+            arrivals.add(key)
+        return run
+
+    def drain():
+        yield env.timeout(2)
+        for key in arrivals:   # dgf: noqa[DGF003]: deliberate mutant — unsorted iteration is the bug the sanitizer must catch
+            order.append(key)
+
+    # 0 and 8 collide in a small set table, so insertion order decides
+    # iteration order — the distilled form of every "iterate the live
+    # registry" scheduling bug.
+    env.process(arrive(0)())
+    env.process(arrive(8)())
+    env.process(drain())
+    return _finish(env, sanitizer, lambda: tuple(order))
+
+
+def test_mutant_set_iteration_scheduling_is_killed():
+    proof = prove_order_independence(_mutant_set_iteration)
+    assert not proof.proved
+
+
+# -- M5: same-time draws from one shared substream --------------------------
+
+
+def _mutant_shared_substream(config):
+    env, sanitizer = _sanitized_env(config)
+    streams = sanitizer.track_streams(RandomStreams(MUTANT_SEED))
+    rng = streams.stream("shared/jitter")
+    delays = {}
+
+    def retry(name):
+        def run():
+            yield env.timeout(1)
+            delays[name] = rng.uniform(0.0, 10.0)
+        return run
+
+    env.process(retry("a")())
+    env.process(retry("b")())
+    return _finish(env, sanitizer,
+                   lambda: (delays["a"], delays["b"]))
+
+
+def test_mutant_shared_substream_draw_is_killed():
+    proof = prove_order_independence(_mutant_shared_substream)
+    assert not proof.proved
+    # This one is both refuted *and* visible as a draw-draw race.
+    assert proof.races_total > 0
+
+
+# -- M6: static — two consumers sharing one stream name (DGF007) ------------
+
+_DGF007_MUTANT = '''\
+STREAM = "svc/jitter"
+
+
+class BackoffTimer:
+    def __init__(self, streams):
+        self.rng = streams.stream(STREAM)
+
+
+class ProbeScheduler:
+    def __init__(self, streams):
+        self.rng = streams.stream("svc/jitter")
+'''
+
+
+def test_mutant_substream_collision_is_killed_statically():
+    findings, _ = lint_source(_DGF007_MUTANT, "mutant_m6.py",
+                              LintConfig())
+    assert any(finding.code == "DGF007" for finding in findings)
+
+
+# -- M7: static — module-level cache mutated from a function (DGF008) -------
+
+_DGF008_MUTANT = '''\
+_SEEN = {}
+
+
+def note(key, value):
+    _SEEN[key] = value
+    return len(_SEEN)
+'''
+
+
+def test_mutant_module_state_is_killed_statically():
+    findings, _ = lint_source(_DGF008_MUTANT, "mutant_m7.py",
+                              LintConfig())
+    assert any(finding.code == "DGF008" for finding in findings)
+
+
+# -- control: a commutative workload must NOT be killed ---------------------
+
+
+def _control_commutative(config):
+    env, sanitizer = _sanitized_env(config)
+    log = sanitizer.track_value("log", [])
+    streams = sanitizer.track_streams(RandomStreams(MUTANT_SEED))
+
+    def worker(name):
+        rng = streams.stream(f"worker/{name}")   # per-consumer substream
+
+        def run():
+            yield env.timeout(1)
+            log.append((name, rng.random()))
+        return run
+
+    for index in range(4):
+        env.process(worker(f"w{index}")())
+    return _finish(env, sanitizer, lambda: tuple(sorted(log)))
+
+
+def test_control_commutative_workload_survives():
+    proof = prove_order_independence(_control_commutative)
+    assert proof.proved
+    assert proof.choice_batches >= 1
+
+    # And a plain (non-permuted) sanitized run reports no races.
+    _, sanitizer = _control_commutative(SanitizeConfig())
+    assert sanitizer.races == []

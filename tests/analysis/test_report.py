@@ -87,6 +87,82 @@ def test_config_select_filters_rules(tmp_path):
     assert filtered.ok
 
 
+def _sample_sanitizer_payload(proved=False):
+    return {
+        "proved": proved,
+        "races_total": 2,
+        "scenarios": [{
+            "kind": "chaos", "seed": 3,
+            "proof": {
+                "proved": proved, "runs": 7, "choice_batches": 8,
+                "races_total": 2,
+                "witness": None if proved else {
+                    "time": 1.32, "choice_batch": 1,
+                    "baseline_order": ["Timeout", "Initialize->_driver"],
+                    "permuted_order": ["Initialize->_driver", "Timeout"],
+                    "races": [{"time": 1.32, "state": "provenance.records",
+                               "item": None,
+                               "a": {"label": "Initialize->_run_root",
+                                     "kind": "update"},
+                               "b": {"label": "Process(_srb)->_run_root",
+                                     "kind": "read"}}],
+                    "baseline_signature": "810d4da99d36255b",
+                    "permuted_signature": "20706ed5fc8bfbb2",
+                },
+            },
+        }],
+    }
+
+
+def test_round_trip_with_new_rule_codes_and_sanitizer_witness():
+    report = Report(
+        findings=[Finding(code="DGF007", path="a.py", line=9, col=0,
+                          message="substream name collision"),
+                  Finding(code="DGF008", path="b.py", line=2, col=0,
+                          message="module-level mutable state")],
+        suppressions=[Suppression(code="DGF008", path="c.py", line=5,
+                                  reason="populated at import time only",
+                                  message="registry table")],
+        files_scanned=3,
+        sanitizer=_sample_sanitizer_payload(proved=False),
+    )
+    clone = Report.from_json(report.to_json())
+    assert clone.findings == report.findings
+    assert clone.suppressions == report.suppressions
+    assert clone.sanitizer == report.sanitizer
+    assert clone.to_json() == report.to_json()
+    # The embedded proof/witness rebuild into the typed objects exactly.
+    from repro.analysis.sanitizer import PermutationProof
+    proof = PermutationProof.from_dict(
+        clone.sanitizer["scenarios"][0]["proof"])
+    assert proof.to_dict() == report.sanitizer["scenarios"][0]["proof"]
+    assert proof.witness.choice_batch == 1
+
+
+def test_refuted_sanitizer_payload_fails_the_report():
+    refuted = Report(sanitizer=_sample_sanitizer_payload(proved=False))
+    assert not refuted.ok and refuted.exit_code == 1
+    proved = Report(sanitizer=_sample_sanitizer_payload(proved=True))
+    assert proved.ok and proved.exit_code == 0
+
+
+def test_render_text_shows_the_witness_pair():
+    text = render_text(Report(sanitizer=_sample_sanitizer_payload()))
+    assert "REFUTED" in text
+    assert "choice batch 1 at t=1.32" in text
+    assert "Timeout | Initialize->_driver" in text
+    assert "Initialize->_driver | Timeout" in text
+
+
+def test_from_dict_accepts_schema_v1_documents():
+    document = _sample_report().to_dict()
+    document["schema_version"] = 1
+    document.pop("sanitizer")
+    clone = Report.from_dict(document)
+    assert clone.sanitizer is None
+    assert clone.findings == _sample_report().findings
+
+
 def test_load_config_reads_tool_table(tmp_path):
     pyproject = tmp_path / "pyproject.toml"
     pyproject.write_text(

@@ -26,6 +26,8 @@ CASES = {
     "DGF004": "dgf004_float_eq",
     "DGF005": "dgf005_retry_contract",
     "DGF006": "dgf006_labels",
+    "DGF007": "dgf007_substreams",
+    "DGF008": "dgf008_module_state",
 }
 
 CONFIG = LintConfig(dispatch_paths=("*dgf005*",))
